@@ -1,0 +1,156 @@
+//! e10 — Consensus mechanisms (paper §III).
+//!
+//! Measures the three leader/ordering mechanisms side by side:
+//! PoW's hash-power lottery fairness, PoS's stake-weighted selection
+//! with slashing, and Nano's weighted representative voting.
+
+use dlt_bench::{banner, Table};
+use dlt_blockchain::pos::{
+    CasperFfg, Checkpoint, EquivocationDetector, FfgOutcome, FfgVote, ValidatorSet,
+};
+use dlt_blockchain::pow::sample_mining_time;
+use dlt_crypto::keys::Address;
+use dlt_crypto::sha256::sha256;
+use dlt_dag::voting::Election;
+use dlt_sim::rng::SimRng;
+
+fn main() {
+    banner("e10", "consensus mechanisms", "§III");
+    let mut rng = SimRng::new(10);
+
+    // --- PoW lottery fairness: win share tracks hash share. ---
+    println!("\nPoW leader election: block share vs hash-power share");
+    let shares = [0.05f64, 0.15, 0.30, 0.50];
+    let mut wins = [0u64; 4];
+    let rounds = 20_000;
+    let difficulty = 1_000;
+    for _ in 0..rounds {
+        let mut best = 0usize;
+        let mut best_time = f64::INFINITY;
+        for (i, share) in shares.iter().enumerate() {
+            let t = sample_mining_time(&mut rng, share * 1_000.0, difficulty).as_secs_f64();
+            if t < best_time {
+                best_time = t;
+                best = i;
+            }
+        }
+        wins[best] += 1;
+    }
+    let mut table = Table::new(["miner hash share", "expected win share", "measured"]);
+    for (share, win) in shares.iter().zip(wins) {
+        table.row([
+            format!("{:.0}%", share * 100.0),
+            format!("{:.0}%", share * 100.0),
+            format!("{:.1}%", 100.0 * win as f64 / rounds as f64),
+        ]);
+    }
+    table.print();
+
+    // --- PoS: stake-weighted proposer election. ---
+    println!("\nPoS proposer election: proposal share vs stake share");
+    let mut validators = ValidatorSet::new();
+    let stakes = [("whale", 500u64), ("mid", 300), ("small", 150), ("tiny", 50)];
+    for (name, stake) in stakes {
+        validators.deposit(Address::from_label(name), stake);
+    }
+    let mut counts = std::collections::HashMap::new();
+    let slots = 20_000u64;
+    for slot in 0..slots {
+        let parent = sha256(&slot.to_be_bytes());
+        let proposer = validators.select_proposer(&parent, slot).unwrap();
+        *counts.entry(proposer).or_insert(0u64) += 1;
+    }
+    let mut table = Table::new(["validator", "stake share", "proposal share"]);
+    for (name, stake) in stakes {
+        let address = Address::from_label(name);
+        table.row([
+            name.to_string(),
+            format!("{:.1}%", 100.0 * stake as f64 / 1000.0),
+            format!(
+                "{:.1}%",
+                100.0 * *counts.get(&address).unwrap_or(&0) as f64 / slots as f64
+            ),
+        ]);
+    }
+    table.print();
+
+    // --- PoS slashing: equivocation burns the stake. ---
+    println!("\nPoS slashing (\"burning stake has the same economic effect as");
+    println!("dismantling an attacker's mining equipment\"):");
+    let mut detector = EquivocationDetector::new();
+    let evil = Address::from_label("whale");
+    detector.observe(evil, 42, sha256(b"block-a"));
+    let evidence = detector.observe(evil, 42, sha256(b"block-b")).expect("double-sign");
+    let burned = validators.slash(&evidence.proposer);
+    println!(
+        "validator whale double-signed slot {} -> {} stake burned; total stake {} -> {}", evidence.slot, burned, 1000, validators.total_stake()
+    );
+
+    // --- Casper FFG finality. ---
+    let mut ffg = CasperFfg::new(
+        {
+            let mut set = ValidatorSet::new();
+            for (name, stake) in stakes {
+                set.deposit(Address::from_label(name), stake);
+            }
+            set
+        },
+        sha256(b"genesis"),
+    );
+    let genesis_cp = Checkpoint {
+        epoch: 0,
+        block: sha256(b"genesis"),
+    };
+    let e1 = Checkpoint {
+        epoch: 1,
+        block: sha256(b"epoch-1"),
+    };
+    let e2 = Checkpoint {
+        epoch: 2,
+        block: sha256(b"epoch-2"),
+    };
+    for (name, _) in stakes {
+        ffg.process_vote(FfgVote {
+            validator: Address::from_label(name),
+            source: genesis_cp,
+            target: e1,
+        });
+    }
+    let mut outcome = FfgOutcome::Accepted;
+    for (name, _) in stakes {
+        outcome = ffg.process_vote(FfgVote {
+            validator: Address::from_label(name),
+            source: e1,
+            target: e2,
+        });
+        if matches!(outcome, FfgOutcome::Finalized { .. }) {
+            break;
+        }
+    }
+    println!(
+        "\nCasper FFG: epoch-1 checkpoint justified then finalized by 2/3 stake \
+         votes -> {outcome:?}; finalized checkpoints cannot be reverted (§IV-A's \
+         announced finality)."
+    );
+
+    // --- Nano: weighted representative conflict vote. ---
+    println!("\nDAG conflict vote: weight decides, not node count");
+    let mut election = Election::new();
+    let honest = sha256(b"honest-send");
+    let attack = sha256(b"double-spend");
+    election.vote(Address::from_label("big-rep"), 700, honest);
+    for i in 0..9 {
+        election.vote(Address::from_label(&format!("small-{i}")), 30, attack);
+    }
+    let (winner, weight) = election.leader().unwrap();
+    println!(
+        "9 small representatives (270 weight) back the double spend; 1 large (700) \
+         backs the honest send -> winner: {} with weight {weight}",
+        if winner == honest { "honest" } else { "attack" }
+    );
+    assert_eq!(winner, honest);
+    println!(
+        "\"the winning transaction is the one that gained the most votes with \
+         regards to the voters weight\" (§III-B)."
+    );
+}

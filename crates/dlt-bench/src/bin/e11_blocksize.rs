@@ -1,0 +1,103 @@
+//! e11 — The block-size sweep (paper §VI-A, Segwit2x).
+//!
+//! "Increasing the block size also increases the maximum amount of
+//! transactions that fit into a block, effectively increasing
+//! transaction rate. However, the block size increase would eventually
+//! lead to centralization due to the fact that consumer hardware would
+//! become unable to process blocks."
+//!
+//! The sweep shows both sides: TPS grows linearly with block size,
+//! while propagation time (size / bandwidth) grows too — and with it
+//! the fork rate (measured on the miner network with size-scaled
+//! latency) and the hardware demanded of full nodes.
+
+use dlt_bench::{banner, Table};
+use dlt_blockchain::block::Block;
+use dlt_blockchain::difficulty::RetargetParams;
+use dlt_blockchain::node::{MinerConfig, MinerNode, NetMsg};
+use dlt_blockchain::utxo::UtxoTx;
+use dlt_core::throughput::blockchain_tps;
+use dlt_crypto::keys::Address;
+use dlt_sim::engine::Simulation;
+use dlt_sim::latency::LatencyModel;
+use dlt_sim::network::NodeId;
+use dlt_sim::time::SimTime;
+
+fn main() {
+    banner("e11", "block size vs throughput vs centralisation", "§VI-A");
+
+    // Consumer-link model: 10 Mbit/s effective broadcast bandwidth plus
+    // 100 ms base latency; 400 B per transaction; 600 s blocks.
+    let bandwidth_bytes_per_sec = 10e6 / 8.0;
+    let base_latency = 0.1;
+    let interval = 600.0;
+    let tx_bytes = 400.0;
+
+    let mut table = Table::new([
+        "block size",
+        "TPS",
+        "propagation",
+        "prop/interval",
+        "measured fork rate",
+        "full-node burden (GB/yr)",
+    ]);
+    for mb in [0.5f64, 1.0, 2.0, 4.0, 8.0, 32.0] {
+        let size_bytes = mb * 1e6;
+        let tps = blockchain_tps(size_bytes, tx_bytes, interval);
+        let propagation = base_latency + size_bytes / bandwidth_bytes_per_sec;
+
+        // Measure the fork rate on the miner network at a compressed
+        // timescale, with link latency set to the computed propagation
+        // time scaled by the same factor as the interval.
+        let compress = 60.0; // 600 s -> 10 s
+        let sim_interval = interval / compress;
+        let sim_latency_ms = (propagation / compress * 1000.0).max(1.0) as u64;
+        let miners = 5;
+        let mut sim: Simulation<NetMsg<UtxoTx>, MinerNode<UtxoTx>> = Simulation::new(
+            (mb * 10.0) as u64,
+            LatencyModel::LogNormal {
+                median: SimTime::from_millis(sim_latency_ms),
+                sigma: 0.3,
+            },
+        );
+        for m in 0..miners {
+            sim.add_node(MinerNode::new(
+                Block::empty_genesis(),
+                MinerConfig {
+                    hashrate: 1.0 / (miners as f64 * sim_interval),
+                    mine: true,
+                    subsidy: 0,
+                    block_capacity: 1_000_000,
+                    retarget: RetargetParams {
+                        target_interval_micros: (sim_interval * 1e6) as u64,
+                        window: 1_000_000,
+                        max_step: 4,
+                    },
+                    miner_address: Address::from_label(&format!("m{m}")),
+                    coinbase: None,
+                    mempool_capacity: 10,
+                },
+            ));
+        }
+        sim.run_until(SimTime::from_secs(2_000));
+        let total = sim.node(NodeId(0)).chain().block_count();
+        let stale = sim.node(NodeId(0)).chain().stale_block_count();
+        let fork_rate = stale as f64 / total as f64;
+
+        let annual_gb = tps * tx_bytes * 86_400.0 * 365.0 / 1e9;
+        table.row([
+            format!("{mb} MB"),
+            format!("{tps:.1}"),
+            format!("{propagation:.2} s"),
+            format!("{:.4}", propagation / interval),
+            format!("{fork_rate:.3}"),
+            format!("{annual_gb:.0}"),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nreading: TPS rises linearly (Segwit2x's pitch), but propagation \
+         time, fork rate and the storage/bandwidth burden rise with it — \
+         §VI-A's centralisation pressure, quantified."
+    );
+}

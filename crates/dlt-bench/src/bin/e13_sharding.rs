@@ -1,0 +1,57 @@
+//! e13 — Sharding (paper §VI-A).
+//!
+//! Sweeps shard count K and cross-shard traffic fraction f, measuring
+//! completed-transaction throughput against the analytic ceiling
+//! `K·C / (1 + f)`: linear scaling in K, a tax on cross-shard
+//! communication — "the downside … is that developers would need to be
+//! aware that they are programming in a cross shard environment."
+
+use dlt_bench::{banner, Table};
+use dlt_scaling::sharding::{ShardedNetwork, ShardingParams};
+use dlt_sim::rng::SimRng;
+
+fn main() {
+    banner("e13", "sharding", "§VI-A");
+    let per_shard_rate = 50.0;
+    let duration = 30.0;
+
+    println!("\nthroughput vs shard count and cross-shard fraction (per-shard capacity {per_shard_rate} tx/s):");
+    let mut table = Table::new([
+        "shards K",
+        "f = 0%",
+        "f = 10%",
+        "f = 30%",
+        "f = 100%",
+        "theory f=30%",
+    ]);
+    let mut rng = SimRng::new(13);
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let mut cells = vec![k.to_string()];
+        for f in [0.0f64, 0.1, 0.3, 1.0] {
+            let params = ShardingParams {
+                shards: k,
+                per_shard_rate,
+                cross_shard_fraction: f,
+            };
+            let mut net = ShardedNetwork::new(params);
+            let measured = net.run_saturated(per_shard_rate * k as f64 * 3.0, duration, &mut rng);
+            cells.push(format!("{measured:.0}"));
+        }
+        let theory = ShardingParams {
+            shards: k,
+            per_shard_rate,
+            cross_shard_fraction: 0.3,
+        }
+        .theoretical_tps();
+        cells.push(format!("{theory:.0}"));
+        table.row(cells);
+    }
+    table.print();
+
+    println!(
+        "\nreading: K=1 is §VI's unsharded baseline (\"every node … process[es] \
+         every transaction\"); throughput scales ~linearly in K and pays the \
+         (1+f) cross-shard tax. With f=100% every transfer touches two shards \
+         and half the capacity evaporates."
+    );
+}

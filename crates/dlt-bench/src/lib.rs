@@ -1,0 +1,116 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Each `src/bin/eNN_*.rs` binary regenerates one table or figure of
+//! the paper (see DESIGN.md §4 for the index and EXPERIMENTS.md for the
+//! paper-vs-measured record). The binaries print fixed-width text
+//! tables via [`Table`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A minimal fixed-width text-table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, width) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:<width$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for width in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(width + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a byte count with a binary-ish human unit.
+pub fn human_bytes(bytes: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes;
+    let mut unit = 0;
+    while value >= 1000.0 && unit < UNITS.len() - 1 {
+        value /= 1000.0;
+        unit += 1;
+    }
+    format!("{value:.2} {}", UNITS[unit])
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str, paper_ref: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_ref}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]).row(["longer-name", "200"]);
+        let text = t.render();
+        assert!(text.contains("| name        | value |"));
+        assert!(text.contains("| longer-name | 200   |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn bytes_humanised() {
+        assert_eq!(human_bytes(512.0), "512.00 B");
+        assert_eq!(human_bytes(1_500.0), "1.50 KB");
+        assert_eq!(human_bytes(145.95e9), "145.95 GB");
+    }
+}

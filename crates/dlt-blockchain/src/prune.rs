@@ -1,0 +1,217 @@
+//! Ledger-size accounting and pruning (paper §V).
+//!
+//! "As every ledger contains all information since its genesis, its
+//! size is constantly increasing." This module measures exactly what a
+//! node must store under each retention policy the paper describes:
+//!
+//! * **Archival** — everything: headers, bodies, undo data, and the
+//!   UTXO set / state trie.
+//! * **Bitcoin prune mode** (§V-A) — "delete raw block data after the
+//!   entire ledger has been downloaded and validated, keeping only a
+//!   small subset": all headers, plus bodies and undo data for the most
+//!   recent `keep_depth` blocks (needed "to relay recent blocks to
+//!   peers and handle soft forks"), plus the full UTXO set.
+//! * **Ethereum state pruning / fast sync** — measured directly on
+//!   [`EthereumChain`] via
+//!   `prune_state_deltas` and `fast_sync`; the helpers here snapshot
+//!   its archival/pruned sizes for the experiment tables.
+
+use crate::bitcoin::BitcoinChain;
+use crate::block::LedgerTx;
+use crate::ethereum::EthereumChain;
+
+/// Byte counts per storage component of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageBreakdown {
+    /// Block headers (always kept — they are the proof chain).
+    pub headers_bytes: usize,
+    /// Raw transaction bodies.
+    pub bodies_bytes: usize,
+    /// Undo data (Bitcoin) for reorg handling.
+    pub undo_bytes: usize,
+    /// The current-state component: UTXO set or state trie.
+    pub state_bytes: usize,
+    /// Receipts (Ethereum).
+    pub receipts_bytes: usize,
+}
+
+impl StorageBreakdown {
+    /// Total bytes across all components.
+    pub fn total(&self) -> usize {
+        self.headers_bytes
+            + self.bodies_bytes
+            + self.undo_bytes
+            + self.state_bytes
+            + self.receipts_bytes
+    }
+}
+
+impl std::fmt::Display for StorageBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "headers={} bodies={} undo={} state={} receipts={} total={}",
+            self.headers_bytes,
+            self.bodies_bytes,
+            self.undo_bytes,
+            self.state_bytes,
+            self.receipts_bytes,
+            self.total()
+        )
+    }
+}
+
+/// What an archival (non-pruned) Bitcoin-like node stores.
+pub fn bitcoin_archival_size(chain: &BitcoinChain) -> StorageBreakdown {
+    let mut out = StorageBreakdown::default();
+    for id in chain.chain().active_chain() {
+        let block = chain.chain().block(id).expect("active blocks stored");
+        let header = block.header.size_bytes();
+        out.headers_bytes += header;
+        out.bodies_bytes += block.size_bytes() - header;
+        out.undo_bytes += chain.undo_size_of(id).unwrap_or(0);
+    }
+    out.state_bytes = chain.ledger().size_bytes();
+    out
+}
+
+/// What a Bitcoin-like node in prune mode stores: every header, but
+/// bodies and undo data only for the `keep_depth` most recent active
+/// blocks, plus the full UTXO set.
+pub fn bitcoin_pruned_size(chain: &BitcoinChain, keep_depth: u64) -> StorageBreakdown {
+    let mut out = StorageBreakdown::default();
+    let tip_height = chain.chain().tip_height();
+    let keep_from = tip_height.saturating_sub(keep_depth.saturating_sub(1));
+    for (height, id) in chain.chain().active_chain().iter().enumerate() {
+        let block = chain.chain().block(id).expect("active blocks stored");
+        let header = block.header.size_bytes();
+        out.headers_bytes += header;
+        if height as u64 >= keep_from {
+            out.bodies_bytes += block.size_bytes() - header;
+            out.undo_bytes += chain.undo_size_of(id).unwrap_or(0);
+        }
+    }
+    out.state_bytes = chain.ledger().size_bytes();
+    out
+}
+
+/// What an archival Ethereum-like node stores: all blocks, receipts,
+/// and *every version* of the state trie.
+pub fn ethereum_archival_size(chain: &EthereumChain) -> StorageBreakdown {
+    let mut out = StorageBreakdown::default();
+    for id in chain.chain().active_chain() {
+        let block = chain.chain().block(id).expect("active blocks stored");
+        let header = block.header.size_bytes();
+        out.headers_bytes += header;
+        out.bodies_bytes += block.size_bytes() - header;
+        if let Some(receipts) = chain.block_receipts(id) {
+            out.receipts_bytes += receipts
+                .iter()
+                .map(dlt_crypto::codec::Encode::encoded_len)
+                .sum::<usize>();
+        }
+    }
+    out.state_bytes = chain.state().trie().total_bytes();
+    out
+}
+
+/// Per-transaction footprint of the active chain: total active-chain
+/// bytes divided by the number of (non-coinbase) transactions. The
+/// §V comparison normalises ledger growth this way.
+pub fn bytes_per_tx<T: LedgerTx>(chain: &crate::chain::ChainStore<T>) -> Option<f64> {
+    let mut bytes = 0usize;
+    let mut txs = 0usize;
+    for block in chain.iter_active() {
+        bytes += block.size_bytes();
+        txs += block.txs.len();
+    }
+    if txs == 0 {
+        None
+    } else {
+        Some(bytes as f64 / txs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitcoin::BitcoinParams;
+    use crate::utxo::Wallet;
+    use dlt_crypto::keys::Address;
+
+    fn busy_chain(blocks: u64) -> BitcoinChain {
+        let mut wallet = Wallet::new(1);
+        let allocations: Vec<(Address, u64)> =
+            (0..blocks).map(|_| (wallet.new_address(), 10_000)).collect();
+        let mut chain = BitcoinChain::new(BitcoinParams::default(), &allocations);
+        for i in 1..=blocks {
+            let tx = wallet
+                .build_transfer(chain.ledger(), Address::from_label("sink"), 100, 1)
+                .expect("funded");
+            chain.submit_tx(tx);
+            chain.mine_block(Address::from_label("miner"), i * 600_000_000);
+        }
+        chain
+    }
+
+    #[test]
+    fn pruned_is_smaller_than_archival() {
+        let chain = busy_chain(12);
+        let archival = bitcoin_archival_size(&chain);
+        let pruned = bitcoin_pruned_size(&chain, 3);
+        assert!(pruned.total() < archival.total());
+        // Headers and state identical; bodies/undo shrink.
+        assert_eq!(pruned.headers_bytes, archival.headers_bytes);
+        assert_eq!(pruned.state_bytes, archival.state_bytes);
+        assert!(pruned.bodies_bytes < archival.bodies_bytes);
+        assert!(pruned.undo_bytes <= archival.undo_bytes);
+    }
+
+    #[test]
+    fn keeping_everything_equals_archival() {
+        let chain = busy_chain(5);
+        let archival = bitcoin_archival_size(&chain);
+        let pruned = bitcoin_pruned_size(&chain, 100);
+        assert_eq!(pruned, archival);
+    }
+
+    #[test]
+    fn archival_grows_with_chain() {
+        let small = bitcoin_archival_size(&busy_chain(3));
+        let large = bitcoin_archival_size(&busy_chain(10));
+        assert!(large.total() > small.total());
+    }
+
+    #[test]
+    fn bytes_per_tx_reasonable() {
+        let chain = busy_chain(5);
+        let per_tx = bytes_per_tx(chain.chain()).expect("has txs");
+        // A WOTS-signed UTXO tx is ~2.3 KB; blocks add coinbase+header.
+        assert!(per_tx > 500.0 && per_tx < 10_000.0, "bytes/tx {per_tx}");
+    }
+
+    #[test]
+    fn ethereum_archival_includes_receipts_and_state() {
+        use crate::account::AccountHolder;
+        use crate::ethereum::{EthereumChain, EthereumParams};
+        let mut alice = AccountHolder::from_seed([2u8; 32], 5);
+        let mut chain =
+            EthereumChain::new(EthereumParams::default(), &[(alice.address(), 10_000_000)]);
+        for i in 0..5 {
+            chain.submit_tx(alice.transfer(Address::from_label("b"), 10, 1));
+            chain.produce_block(Address::from_label("v"), i);
+        }
+        let size = ethereum_archival_size(&chain);
+        assert!(size.receipts_bytes > 0);
+        assert!(size.state_bytes > 0);
+        assert!(size.bodies_bytes > 0);
+        assert!(size.total() > size.state_bytes);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let chain = busy_chain(2);
+        let text = bitcoin_archival_size(&chain).to_string();
+        assert!(text.contains("total="));
+    }
+}

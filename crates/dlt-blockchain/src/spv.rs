@@ -1,0 +1,306 @@
+//! Simplified Payment Verification: the blockchain light client.
+//!
+//! The paper's §V node taxonomy includes nodes that do not hold ledger
+//! data. On a blockchain that role is the SPV client of Nakamoto's
+//! §8: keep only the *header chain* (80-ish bytes per block instead of
+//! megabytes), verify its hash linkage, work and difficulty, and check
+//! individual transactions against a header's Merkle root using an
+//! inclusion proof served by a full node.
+//!
+//! Security model: an SPV client trusts that the most-work header chain
+//! it knows is the honest one — it can verify *inclusion* and *work*,
+//! but not semantic validity; that is exactly the §IV confidence
+//! trade-off, so [`SpvClient::verify_inclusion`] is its central query.
+
+use dlt_crypto::merkle::MerkleProof;
+use dlt_crypto::Digest;
+
+use crate::block::BlockHeader;
+use crate::pow::pow_valid;
+
+/// Why a header or proof was rejected by the light client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpvError {
+    /// The header does not link to the client's current tip.
+    DoesNotExtendTip,
+    /// The header's height is inconsistent.
+    BadHeight,
+    /// The header fails its own proof-of-work target.
+    BadPow,
+    /// The referenced header is unknown to the client.
+    UnknownHeader,
+    /// The Merkle proof does not connect the transaction to the
+    /// header's Merkle root.
+    BadProof,
+}
+
+impl std::fmt::Display for SpvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = match self {
+            SpvError::DoesNotExtendTip => "header does not extend the known tip",
+            SpvError::BadHeight => "header height inconsistent",
+            SpvError::BadPow => "header fails proof of work",
+            SpvError::UnknownHeader => "unknown header",
+            SpvError::BadProof => "merkle proof does not match header root",
+        };
+        f.write_str(text)
+    }
+}
+
+impl std::error::Error for SpvError {}
+
+/// A header-only light client.
+///
+/// # Example
+///
+/// ```
+/// use dlt_blockchain::bitcoin::{BitcoinChain, BitcoinParams};
+/// use dlt_blockchain::spv::SpvClient;
+/// use dlt_blockchain::utxo::Wallet;
+/// use dlt_crypto::keys::Address;
+///
+/// // A full node runs the chain…
+/// let mut wallet = Wallet::new(1);
+/// let funded = wallet.new_address();
+/// let mut chain = BitcoinChain::new(BitcoinParams::default(), &[(funded, 1000)]);
+/// let genesis_header = chain
+///     .chain()
+///     .header(&chain.chain().genesis())
+///     .unwrap()
+///     .clone();
+/// chain.mine_block(Address::from_label("miner"), 600_000_000);
+///
+/// // …the light client follows only headers.
+/// let mut spv = SpvClient::new(genesis_header, false);
+/// let tip = chain.chain().tip();
+/// spv.accept_header(chain.chain().header(&tip).unwrap().clone()).unwrap();
+/// assert_eq!(spv.tip_height(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpvClient {
+    headers: Vec<BlockHeader>,
+    /// Ids by height (headers[i].id(), cached).
+    ids: Vec<Digest>,
+    verify_pow: bool,
+}
+
+impl SpvClient {
+    /// Starts a client from a trusted genesis header. `verify_pow`
+    /// enables the hash-target check (off for sampled-PoW simulations).
+    pub fn new(genesis: BlockHeader, verify_pow: bool) -> Self {
+        assert!(genesis.is_genesis(), "SPV clients anchor at genesis");
+        let id = genesis.id();
+        SpvClient {
+            headers: vec![genesis],
+            ids: vec![id],
+            verify_pow,
+        }
+    }
+
+    /// Height of the best known header.
+    pub fn tip_height(&self) -> u64 {
+        (self.headers.len() - 1) as u64
+    }
+
+    /// Id of the best known header.
+    pub fn tip(&self) -> Digest {
+        *self.ids.last().expect("non-empty")
+    }
+
+    /// Total bytes this client stores — the §V "light" footprint.
+    pub fn storage_bytes(&self) -> usize {
+        use dlt_crypto::codec::Encode;
+        self.headers.iter().map(|h| h.encoded_len() + 32).sum()
+    }
+
+    /// Accepts the next header if it extends the tip with valid
+    /// linkage, height and (optionally) work.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpvError`]. Reorg support is intentionally simple: feed
+    /// the client the active chain (real SPV clients track competing
+    /// header branches; the confidence mathematics is identical).
+    pub fn accept_header(&mut self, header: BlockHeader) -> Result<(), SpvError> {
+        if header.parent != self.tip() {
+            return Err(SpvError::DoesNotExtendTip);
+        }
+        if header.height != self.tip_height() + 1 {
+            return Err(SpvError::BadHeight);
+        }
+        if self.verify_pow && !pow_valid(&header) {
+            return Err(SpvError::BadPow);
+        }
+        self.ids.push(header.id());
+        self.headers.push(header);
+        Ok(())
+    }
+
+    /// Verifies that a transaction is included in the block at
+    /// `height`, given a Merkle proof from a full node, and returns
+    /// the §IV-A confirmation count.
+    ///
+    /// # Errors
+    ///
+    /// [`SpvError::UnknownHeader`] for out-of-range heights,
+    /// [`SpvError::BadProof`] if the proof doesn't bind `tx_id` to the
+    /// header's Merkle root.
+    pub fn verify_inclusion(
+        &self,
+        height: u64,
+        tx_id: &Digest,
+        proof: &MerkleProof,
+    ) -> Result<u64, SpvError> {
+        let header = self
+            .headers
+            .get(height as usize)
+            .ok_or(SpvError::UnknownHeader)?;
+        if !proof.verify(&header.merkle_root, tx_id) {
+            return Err(SpvError::BadProof);
+        }
+        Ok(self.tip_height() - height + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitcoin::{BitcoinChain, BitcoinParams};
+    use crate::block::LedgerTx;
+    use crate::utxo::Wallet;
+    use dlt_crypto::keys::Address;
+    use dlt_crypto::merkle::MerkleTree;
+
+    /// A full node, its SPV follower, and a funded wallet.
+    fn setup() -> (BitcoinChain, SpvClient, Wallet) {
+        let mut wallet = Wallet::new(1);
+        let allocations: Vec<(Address, u64)> =
+            (0..4).map(|_| (wallet.new_address(), 1_000)).collect();
+        let chain = BitcoinChain::new(BitcoinParams::default(), &allocations);
+        let genesis = chain
+            .chain()
+            .header(&chain.chain().genesis())
+            .unwrap()
+            .clone();
+        let spv = SpvClient::new(genesis, false);
+        (chain, spv, wallet)
+    }
+
+    fn sync(spv: &mut SpvClient, chain: &BitcoinChain) {
+        for id in chain.chain().active_chain() {
+            let header = chain.chain().header(id).unwrap().clone();
+            if header.height > spv.tip_height() {
+                spv.accept_header(header).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn follows_headers_and_verifies_payment() {
+        let (mut chain, mut spv, mut wallet) = setup();
+        let tx = wallet
+            .build_transfer(chain.ledger(), Address::from_label("shop"), 100, 1)
+            .unwrap();
+        let tx_id = tx.id();
+        chain.submit_tx(tx);
+        for i in 1..=4u64 {
+            chain.mine_block(Address::from_label("m"), i * 600_000_000);
+        }
+        sync(&mut spv, &chain);
+        assert_eq!(spv.tip_height(), 4);
+
+        // The full node serves a proof for the payment in block 1.
+        let block1_id = chain.chain().active_at(1).unwrap();
+        let block1 = chain.chain().block(&block1_id).unwrap();
+        let leaves: Vec<Digest> = block1.txs.iter().map(LedgerTx::id).collect();
+        let index = leaves.iter().position(|l| *l == tx_id).unwrap();
+        let tree = MerkleTree::from_leaves(leaves);
+        let proof = tree.prove(index).unwrap();
+
+        let confirmations = spv.verify_inclusion(1, &tx_id, &proof).unwrap();
+        assert_eq!(confirmations, 4);
+    }
+
+    #[test]
+    fn forged_proof_rejected() {
+        let (mut chain, mut spv, mut wallet) = setup();
+        let tx = wallet
+            .build_transfer(chain.ledger(), Address::from_label("shop"), 100, 1)
+            .unwrap();
+        let tx_id = tx.id();
+        chain.submit_tx(tx);
+        chain.mine_block(Address::from_label("m"), 600_000_000);
+        sync(&mut spv, &chain);
+
+        // Proof from the wrong block (genesis) does not bind.
+        let genesis = chain.chain().block(&chain.chain().genesis()).unwrap();
+        let leaves: Vec<Digest> = genesis.txs.iter().map(LedgerTx::id).collect();
+        let tree = MerkleTree::from_leaves(leaves);
+        let wrong_proof = tree.prove(0).unwrap();
+        assert_eq!(
+            spv.verify_inclusion(1, &tx_id, &wrong_proof),
+            Err(SpvError::BadProof)
+        );
+    }
+
+    #[test]
+    fn rejects_non_linking_headers() {
+        let (mut chain, mut spv, _) = setup();
+        chain.mine_block(Address::from_label("m"), 600_000_000);
+        chain.mine_block(Address::from_label("m"), 1_200_000_000);
+        // Skip a header: block 2 doesn't link to the client's tip
+        // (genesis).
+        let tip = chain.chain().tip();
+        let header2 = chain.chain().header(&tip).unwrap().clone();
+        assert_eq!(
+            spv.accept_header(header2),
+            Err(SpvError::DoesNotExtendTip)
+        );
+    }
+
+    #[test]
+    fn storage_is_headers_only() {
+        let (mut chain, mut spv, mut wallet) = setup();
+        for i in 1..=10u64 {
+            if let Some(tx) =
+                wallet.build_transfer(chain.ledger(), Address::from_label("s"), 10, 1)
+            {
+                chain.submit_tx(tx);
+            }
+            chain.mine_block(Address::from_label("m"), i * 600_000_000);
+        }
+        sync(&mut spv, &chain);
+        let full = chain.chain().total_bytes();
+        let light = spv.storage_bytes();
+        assert!(
+            light * 5 < full,
+            "headers-only ({light} B) ≪ full chain ({full} B)"
+        );
+    }
+
+    #[test]
+    fn unknown_height_rejected() {
+        let (_, spv, _) = setup();
+        let proof = MerkleTree::from_leaves(vec![Digest::ZERO]).prove(0).unwrap();
+        assert_eq!(
+            spv.verify_inclusion(5, &Digest::ZERO, &proof),
+            Err(SpvError::UnknownHeader)
+        );
+    }
+
+    #[test]
+    fn pow_checked_when_enabled() {
+        let (chain, _, _) = setup();
+        let genesis = chain
+            .chain()
+            .header(&chain.chain().genesis())
+            .unwrap()
+            .clone();
+        let mut spv = SpvClient::new(genesis.clone(), true);
+        let mut header = genesis;
+        header.parent = spv.tip();
+        header.height = 1;
+        header.difficulty = u64::MAX; // unmined
+        assert_eq!(spv.accept_header(header), Err(SpvError::BadPow));
+    }
+}

@@ -1,0 +1,274 @@
+//! Confirmation confidence (paper §IV-A).
+//!
+//! "As the chain increases in length over the referent block, the
+//! probability of the block being discarded decreases. Depending on the
+//! implementation, there is a suggested number of blocks that need to
+//! be appended above the referent one before it is safe to say that it
+//! will remain in the chain with great certainty. Six for Bitcoin and
+//! five to eleven for Ethereum."
+//!
+//! This module quantifies that: [`revert_probability`] is the
+//! Nakamoto double-spend race analysis (the probability an attacker
+//! controlling a fraction `q` of the hash power ever overtakes a block
+//! buried `z` deep), [`depth_for_risk`] inverts it into the suggested
+//! confirmation count, and [`simulate_race`] cross-validates the
+//! analytic with a Monte-Carlo mining race on the sampled PoW backend.
+
+use dlt_sim::rng::SimRng;
+
+/// Probability that an attacker with hash-power share `q` eventually
+/// replaces a block that is `z` confirmations deep (Nakamoto 2008,
+/// section 11, with the Poisson-mixture correction).
+///
+/// Returns 1.0 whenever `q ≥ 0.5` — a majority attacker always wins.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ q ≤ 1`.
+pub fn revert_probability(q: f64, z: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q is a probability");
+    if q <= 0.0 {
+        return 0.0;
+    }
+    let p = 1.0 - q;
+    if q >= p {
+        return 1.0;
+    }
+    if z == 0 {
+        return 1.0; // an unburied block can always be raced
+    }
+    // Attacker progress while the honest chain mined z blocks is
+    // Poisson with λ = z·q/p; if the attacker is k behind, they catch
+    // up with probability (q/p)^k.
+    let lambda = z as f64 * q / p;
+    let ratio = q / p;
+    let mut sum = 0.0;
+    let mut poisson = (-lambda).exp(); // P(k = 0)
+    for k in 0..=z {
+        // Nakamoto's formulation: with the attacker k blocks along
+        // while the honest chain mined z, the attacker must still make
+        // up z − k; the gambler's-ruin catch-up probability is
+        // (q/p)^(z−k).
+        let catch_up = ratio.powi((z - k) as i32);
+        sum += poisson * (1.0 - catch_up);
+        poisson *= lambda / (k as f64 + 1.0);
+    }
+    (1.0 - sum).clamp(0.0, 1.0)
+}
+
+/// The smallest confirmation depth `z` such that
+/// `revert_probability(q, z) < risk`. Returns `None` when no finite
+/// depth suffices (`q ≥ 0.5`).
+///
+/// # Panics
+///
+/// Panics unless `0 < risk < 1`.
+pub fn depth_for_risk(q: f64, risk: f64) -> Option<u32> {
+    assert!(risk > 0.0 && risk < 1.0, "risk is a probability");
+    if q >= 0.5 {
+        return None;
+    }
+    (0..=10_000).find(|&z| revert_probability(q, z) < risk)
+}
+
+/// Result of a Monte-Carlo double-spend race.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaceOutcome {
+    /// Fraction of trials the attacker won.
+    pub attacker_win_rate: f64,
+    /// Trials run.
+    pub trials: u32,
+}
+
+/// Simulates `trials` double-spend races: honest miners (share `1−q`)
+/// must extend the chain by `z` while the attacker (share `q`) secretly
+/// mines a replacement branch; the attacker keeps mining until they
+/// lead or fall hopelessly behind (`give_up_deficit`).
+///
+/// Block arrivals use the memoryless property: each next block is the
+/// attacker's with probability `q`. This is exactly the sampled-PoW
+/// model's race, so agreement with [`revert_probability`] validates
+/// both (the `e05` ablation).
+pub fn simulate_race(q: f64, z: u32, trials: u32, give_up_deficit: i64, rng: &mut SimRng) -> RaceOutcome {
+    assert!((0.0..1.0).contains(&q), "q in [0, 1)");
+    let mut wins = 0u32;
+    for _ in 0..trials {
+        // Phase 1: honest chain accumulates z blocks; attacker mines
+        // in parallel (starting one behind the block being attacked,
+        // pre-mining their alternative).
+        let mut attacker: i64 = 0;
+        let mut honest: i64 = 0;
+        while honest < z as i64 {
+            if rng.chance(q) {
+                attacker += 1;
+            } else {
+                honest += 1;
+            }
+        }
+        // Phase 2: the attacker must make up the remaining deficit
+        // (Nakamoto counts catching up to a tie as success — from a tie
+        // the attacker releases the longer private branch first).
+        let mut deficit = honest - attacker;
+        loop {
+            if deficit <= 0 {
+                wins += 1;
+                break;
+            }
+            if deficit > give_up_deficit {
+                break;
+            }
+            if rng.chance(q) {
+                deficit -= 1;
+            } else {
+                deficit += 1;
+            }
+        }
+    }
+    RaceOutcome {
+        attacker_win_rate: wins as f64 / trials as f64,
+        trials,
+    }
+}
+
+/// A row of the §IV-A confidence table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceRow {
+    /// Attacker hash-power share.
+    pub attacker_share: f64,
+    /// Revert probability at 1, 6 and 12 confirmations.
+    pub p_revert_1: f64,
+    /// Revert probability at 6 confirmations (Bitcoin's rule).
+    pub p_revert_6: f64,
+    /// Revert probability at 12 confirmations.
+    pub p_revert_12: f64,
+    /// Depth needed for <0.1% revert risk.
+    pub depth_for_01pct: Option<u32>,
+}
+
+/// Builds the confidence table over a sweep of attacker shares.
+pub fn confidence_table(shares: &[f64]) -> Vec<ConfidenceRow> {
+    shares
+        .iter()
+        .map(|&q| ConfidenceRow {
+            attacker_share: q,
+            p_revert_1: revert_probability(q, 1),
+            p_revert_6: revert_probability(q, 6),
+            p_revert_12: revert_probability(q, 12),
+            depth_for_01pct: depth_for_risk(q, 0.001),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_attacker_never_reverts() {
+        assert_eq!(revert_probability(0.0, 6), 0.0);
+        assert_eq!(depth_for_risk(0.0, 0.001), Some(0));
+    }
+
+    #[test]
+    fn majority_attacker_always_reverts() {
+        assert_eq!(revert_probability(0.5, 100), 1.0);
+        assert_eq!(revert_probability(0.7, 1000), 1.0);
+        assert_eq!(depth_for_risk(0.5, 0.001), None);
+    }
+
+    #[test]
+    fn probability_decreases_with_depth() {
+        let q = 0.2;
+        let mut prev = 1.0;
+        for z in 1..30 {
+            let p = revert_probability(q, z);
+            assert!(p <= prev + 1e-12, "z={z}: {p} > {prev}");
+            prev = p;
+        }
+        assert!(prev < 1e-3);
+    }
+
+    #[test]
+    fn probability_increases_with_attacker_share() {
+        let z = 6;
+        let mut prev = 0.0;
+        for q10 in 1..50 {
+            let q = q10 as f64 / 100.0;
+            let p = revert_probability(q, z);
+            assert!(p >= prev, "q={q}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn nakamoto_table_reproduced() {
+        // The canonical table from the Bitcoin paper (§11): depth needed
+        // for P < 0.1%.
+        let expected = [
+            (0.10, 5),
+            (0.15, 8),
+            (0.20, 11),
+            (0.25, 15),
+            (0.30, 24),
+            (0.35, 41),
+            (0.40, 89),
+            (0.45, 340),
+        ];
+        for (q, z) in expected {
+            assert_eq!(
+                depth_for_risk(q, 0.001),
+                Some(z),
+                "q={q} should need z={z}"
+            );
+        }
+    }
+
+    #[test]
+    fn six_confirmations_rationale() {
+        // The paper's "six for Bitcoin" convention corresponds to a
+        // ~10% attacker: at z=6 the revert probability is well under 1%.
+        let p = revert_probability(0.10, 6);
+        assert!(p < 0.001, "p {p}");
+        // Against a 30% attacker six is NOT enough:
+        assert!(revert_probability(0.30, 6) > 0.1);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic() {
+        // The Monte-Carlo race samples the attacker's head start from
+        // the exact negative-binomial distribution, whereas Nakamoto's
+        // closed form approximates it as Poisson; the approximation is
+        // known to slightly *underestimate* the attacker (Rosenfeld
+        // 2014). The simulation must therefore sit at or a little above
+        // the analytic value, never meaningfully below it.
+        let mut rng = SimRng::new(11);
+        for (q, z) in [(0.1, 2u32), (0.2, 4), (0.3, 6)] {
+            let analytic = revert_probability(q, z);
+            let simulated = simulate_race(q, z, 20_000, 60, &mut rng).attacker_win_rate;
+            assert!(
+                simulated > analytic - 0.01,
+                "q={q} z={z}: simulated {simulated} below analytic {analytic}"
+            );
+            assert!(
+                simulated - analytic < 0.05,
+                "q={q} z={z}: simulated {simulated} far above analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_rows_are_consistent() {
+        let table = confidence_table(&[0.1, 0.25, 0.45]);
+        assert_eq!(table.len(), 3);
+        for row in &table {
+            assert!(row.p_revert_1 >= row.p_revert_6);
+            assert!(row.p_revert_6 >= row.p_revert_12);
+        }
+        assert!(table[0].depth_for_01pct.unwrap() < table[2].depth_for_01pct.unwrap());
+    }
+
+    #[test]
+    fn depth_zero_block_always_at_risk() {
+        assert_eq!(revert_probability(0.1, 0), 1.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Energy accounting: hash attempts per confirmed transaction
+//! (paper §III-A-2).
+//!
+//! "PoS … consumes far less electricity than PoW. For example, based on
+//! a recent analysis, Bitcoin mining consumes more electricity in a
+//! year than a selected set of 159 countries."
+//!
+//! Hash attempts are the simulator's energy proxy: every SHA-256
+//! evaluation costs the same joules regardless of who computes it, so
+//! the *ratio* of attempts per confirmed transaction across consensus
+//! mechanisms is exactly the paper's electricity argument. Experiment
+//! `e15` measures these on the implementations; this module holds the
+//! closed forms they must match.
+
+/// Expected hash attempts per transaction for a PoW chain: the whole
+/// network grinds `difficulty` expected attempts per block regardless
+/// of how many transactions the block carries.
+pub fn pow_attempts_per_tx(difficulty: u64, txs_per_block: u64) -> f64 {
+    difficulty as f64 / txs_per_block.max(1) as f64
+}
+
+/// Attempts per transaction under PoS: proposer election is one hash
+/// evaluation per slot — no grinding. (Validators still hash to verify,
+/// linear in transactions, identical across all designs.)
+pub fn pos_attempts_per_tx(txs_per_block: u64) -> f64 {
+    1.0 / txs_per_block.max(1) as f64
+}
+
+/// Attempts per *transfer* for Nano's anti-spam work: a transfer is a
+/// send plus a receive, each expecting `2^difficulty_bits` attempts.
+pub fn nano_attempts_per_transfer(difficulty_bits: u32) -> f64 {
+    2.0 * (2.0f64).powi(difficulty_bits as i32)
+}
+
+/// A row of the energy comparison table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyRow {
+    /// Mechanism label.
+    pub mechanism: &'static str,
+    /// Expected hash attempts per transaction.
+    pub attempts_per_tx: f64,
+    /// Whether the cost secures the ledger (PoW) or only meters spam
+    /// (Nano) / nothing hash-related (PoS).
+    pub is_security_budget: bool,
+}
+
+/// Builds the comparison table for given operating points.
+pub fn energy_table(
+    pow_difficulty: u64,
+    pow_txs_per_block: u64,
+    pos_txs_per_block: u64,
+    nano_difficulty_bits: u32,
+) -> Vec<EnergyRow> {
+    vec![
+        EnergyRow {
+            mechanism: "PoW (Bitcoin-like)",
+            attempts_per_tx: pow_attempts_per_tx(pow_difficulty, pow_txs_per_block),
+            is_security_budget: true,
+        },
+        EnergyRow {
+            mechanism: "PoS (Casper-like)",
+            attempts_per_tx: pos_attempts_per_tx(pos_txs_per_block),
+            is_security_budget: false,
+        },
+        EnergyRow {
+            mechanism: "DAG anti-spam (Nano-like)",
+            attempts_per_tx: nano_attempts_per_transfer(nano_difficulty_bits),
+            is_security_budget: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow_scales_with_difficulty_not_txs_energy_wise() {
+        // Higher difficulty = more energy per tx at equal block fill.
+        assert!(pow_attempts_per_tx(1_000_000, 100) > pow_attempts_per_tx(1_000, 100));
+        // Fuller blocks amortise the same grind.
+        assert!(pow_attempts_per_tx(1_000_000, 1000) < pow_attempts_per_tx(1_000_000, 100));
+    }
+
+    #[test]
+    fn pos_is_orders_of_magnitude_cheaper() {
+        let pow = pow_attempts_per_tx(600_000_000, 2000);
+        let pos = pos_attempts_per_tx(2000);
+        assert!(pow / pos > 1e6, "ratio {}", pow / pos);
+    }
+
+    #[test]
+    fn nano_work_is_fixed_per_transfer() {
+        assert_eq!(nano_attempts_per_transfer(16), 2.0 * 65_536.0);
+        // Independent of network size or traffic.
+        assert_eq!(
+            nano_attempts_per_transfer(16),
+            nano_attempts_per_transfer(16)
+        );
+    }
+
+    #[test]
+    fn table_ordering_matches_paper_argument() {
+        let table = energy_table(600_000_000, 2000, 2000, 16);
+        let pow = table[0].attempts_per_tx;
+        let pos = table[1].attempts_per_tx;
+        let nano = table[2].attempts_per_tx;
+        assert!(pow > nano, "PoW security budget dwarfs anti-spam work");
+        assert!(nano > pos, "anti-spam work still beats one election hash");
+        assert!(table[0].is_security_budget);
+        assert!(!table[1].is_security_budget);
+    }
+
+    #[test]
+    fn zero_txs_does_not_divide_by_zero() {
+        assert!(pow_attempts_per_tx(1000, 0).is_finite());
+        assert!(pos_attempts_per_tx(0).is_finite());
+    }
+}

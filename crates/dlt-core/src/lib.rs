@@ -1,0 +1,30 @@
+//! The comparison layer of `dlt-compare` — the paper's actual
+//! contribution, as an executable framework.
+//!
+//! The paper compares blockchain (Bitcoin, Ethereum) and DAG (Nano)
+//! ledgers along five axes; every axis has a module here that drives
+//! the concrete implementations from the substrate crates and produces
+//! the corresponding quantitative comparison:
+//!
+//! * [`ledger`] — the unified [`DistributedLedger`](ledger::DistributedLedger)
+//!   abstraction with adapters for all three reference implementations,
+//!   plus the identical-workload scenario runner (§II, §V, §VI).
+//! * [`confidence`] — transaction-confirmation confidence (§IV):
+//!   the Nakamoto double-spend race, analytically and by Monte-Carlo,
+//!   and the depth tables behind "six for Bitcoin, five to eleven for
+//!   Ethereum".
+//! * [`throughput`] — transaction-rate models (§VI): block-capacity
+//!   arithmetic for Bitcoin/Ethereum, the Visa reference line, and
+//!   Nano's hardware-limited asynchronous model.
+//! * [`sizing`] — ledger-growth accounting and projections (§V).
+//! * [`energy`] — hash-attempts-per-transaction accounting (§III-A-2's
+//!   PoW-vs-PoS energy argument, extended to Nano's anti-spam work).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confidence;
+pub mod energy;
+pub mod ledger;
+pub mod sizing;
+pub mod throughput;

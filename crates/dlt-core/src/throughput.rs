@@ -1,0 +1,166 @@
+//! Transaction-rate models (paper §VI).
+//!
+//! The paper's throughput numbers are all block-capacity arithmetic:
+//!
+//! * Bitcoin: "a block is mined roughly every 10 minutes with a maximum
+//!   block size of 1 MB, thereby limiting the Bitcoin transaction rate
+//!   to between 3 and 7 transactions per second, depending on the size
+//!   of individual transactions";
+//! * Ethereum: "a block is mined roughly every 15 seconds" with a gas
+//!   limit, giving "roughly between 7 to 15 transactions per second",
+//!   dropping to ~4-second blocks under PoS;
+//! * Visa processes 56 000 TPS (the centralised reference line);
+//! * Nano has "no inherent cap in the transaction throughput in the
+//!   protocol itself", but measured 306 TPS peak / 105.75 TPS average,
+//!   "determined by the quality of consumer grade hardware and network
+//!   conditions".
+//!
+//! [`blockchain_tps`] is that arithmetic; [`NanoThroughputModel`]
+//! expresses the hardware/network-bound model; the `e09` experiment
+//! *measures* all of them on the real implementations and checks the
+//! shapes match these closed forms.
+
+/// Visa's throughput, the paper's centralised-payment reference.
+pub const VISA_TPS: f64 = 56_000.0;
+
+/// Transactions per second of a chain that produces a block of
+/// `block_capacity` weight units every `block_interval_secs`, carrying
+/// transactions of `avg_tx_weight` weight units.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+pub fn blockchain_tps(block_capacity: f64, avg_tx_weight: f64, block_interval_secs: f64) -> f64 {
+    assert!(block_capacity > 0.0 && avg_tx_weight > 0.0 && block_interval_secs > 0.0);
+    (block_capacity / avg_tx_weight) / block_interval_secs
+}
+
+/// The Bitcoin-parameter TPS range for a span of transaction sizes
+/// (the paper's "3 to 7 depending on the size of individual
+/// transactions": ~250-byte and ~550-byte transactions in a 1 MB /
+/// 600 s block).
+pub fn bitcoin_tps_range() -> (f64, f64) {
+    let low = blockchain_tps(1_000_000.0, 550.0, 600.0);
+    let high = blockchain_tps(1_000_000.0, 250.0, 600.0);
+    (low, high)
+}
+
+/// The Ethereum-parameter TPS range (8M gas / 15 s blocks; plain
+/// transfers cost 21k gas, average mainnet transactions of the paper's
+/// era ~50k gas).
+pub fn ethereum_tps_range() -> (f64, f64) {
+    let low = blockchain_tps(8_000_000.0, 50_000.0, 15.0);
+    let high = blockchain_tps(8_000_000.0, 21_000.0, 15.0);
+    (low, high)
+}
+
+/// Ethereum-under-PoS TPS (the paper: "should decrease Ethereum's block
+/// generation time to 4 seconds or lower").
+pub fn ethereum_pos_tps(avg_tx_gas: f64) -> f64 {
+    blockchain_tps(8_000_000.0, avg_tx_gas, 4.0)
+}
+
+/// Nano's throughput model: protocol-uncapped, bounded by node hardware
+/// and network, per §VI-B.
+#[derive(Debug, Clone, Copy)]
+pub struct NanoThroughputModel {
+    /// Blocks per second one consumer-grade node can verify and store
+    /// (signature checks dominate).
+    pub node_processing_bps: f64,
+    /// Blocks per second the node's link can gossip.
+    pub network_bps: f64,
+}
+
+impl NanoThroughputModel {
+    /// The effective transfer rate: a *transfer* needs a send **and** a
+    /// receive block (Fig. 3), and the node is limited by the slower of
+    /// CPU and network.
+    pub fn transfers_per_second(&self) -> f64 {
+        self.node_processing_bps.min(self.network_bps) / 2.0
+    }
+
+    /// The paper's measured reference points: 306 TPS peak,
+    /// 105.75 TPS average on the 2018 main network.
+    pub fn paper_reference() -> (f64, f64) {
+        (306.0, 105.75)
+    }
+}
+
+/// How a saturated chain's pending backlog grows: offered load beyond
+/// capacity accumulates (§VI's "186,951 pending transactions in the
+/// Bitcoin network").
+pub fn backlog_after(offered_tps: f64, capacity_tps: f64, seconds: f64) -> f64 {
+    ((offered_tps - capacity_tps) * seconds).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitcoin_range_matches_paper() {
+        let (low, high) = bitcoin_tps_range();
+        assert!((3.0..=4.0).contains(&low), "low {low}");
+        assert!((6.0..=7.0).contains(&high), "high {high}");
+    }
+
+    #[test]
+    fn ethereum_range_matches_paper() {
+        let (low, high) = ethereum_tps_range();
+        assert!((7.0..=12.0).contains(&low), "low {low}");
+        assert!((15.0..=30.0).contains(&high), "high {high}");
+    }
+
+    #[test]
+    fn pos_speedup() {
+        // 15 s -> 4 s blocks: 3.75x the PoW rate at equal gas.
+        let pow = blockchain_tps(8_000_000.0, 50_000.0, 15.0);
+        let pos = ethereum_pos_tps(50_000.0);
+        assert!((pos / pow - 3.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn visa_dwarfs_both() {
+        let (_, btc_high) = bitcoin_tps_range();
+        let (_, eth_high) = ethereum_tps_range();
+        assert!(VISA_TPS / btc_high > 5_000.0);
+        assert!(VISA_TPS / eth_high > 1_000.0);
+    }
+
+    #[test]
+    fn bigger_blocks_increase_tps_linearly() {
+        let base = blockchain_tps(1_000_000.0, 250.0, 600.0);
+        let double = blockchain_tps(2_000_000.0, 250.0, 600.0);
+        assert!((double / base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nano_model_is_hardware_bound() {
+        let cpu_bound = NanoThroughputModel {
+            node_processing_bps: 200.0,
+            network_bps: 10_000.0,
+        };
+        assert_eq!(cpu_bound.transfers_per_second(), 100.0);
+        let net_bound = NanoThroughputModel {
+            node_processing_bps: 10_000.0,
+            network_bps: 600.0,
+        };
+        assert_eq!(net_bound.transfers_per_second(), 300.0);
+        // Paper's measured peak ~306 TPS corresponds to ~612 blocks/s
+        // of effective capacity.
+        let (peak, avg) = NanoThroughputModel::paper_reference();
+        assert!(peak > avg);
+    }
+
+    #[test]
+    fn backlog_growth() {
+        assert_eq!(backlog_after(10.0, 7.0, 100.0), 300.0);
+        assert_eq!(backlog_after(5.0, 7.0, 100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_args_rejected() {
+        blockchain_tps(0.0, 1.0, 1.0);
+    }
+}

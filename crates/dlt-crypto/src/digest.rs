@@ -1,0 +1,273 @@
+//! The [`Digest`] newtype: a 256-bit hash value.
+//!
+//! Digests identify blocks, transactions, accounts and trie nodes
+//! throughout the workspace. The type also carries the numeric helpers
+//! proof-of-work needs (leading-zero counting and target comparison),
+//! because PoW treats a hash as a 256-bit big-endian integer.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hexutil;
+
+/// A 256-bit hash value (e.g. the output of SHA-256).
+///
+/// `Digest` is an inert value type: `Copy`, ordered (big-endian numeric
+/// order, which is also byte-lexicographic order), hashable and
+/// serialisable.
+///
+/// # Example
+///
+/// ```
+/// use dlt_crypto::sha256::sha256;
+///
+/// let d = sha256(b"abc");
+/// assert_eq!(d.to_hex().len(), 64);
+/// assert!(d > dlt_crypto::Digest::ZERO);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// The all-zero digest. Used as the "no predecessor" sentinel by the
+    /// genesis block / genesis transaction.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// The all-ones digest: the largest 256-bit value, i.e. the easiest
+    /// possible proof-of-work target.
+    pub const MAX: Digest = Digest([0xffu8; 32]);
+
+    /// Wraps raw bytes as a digest.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Borrows the digest's bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Consumes the digest, returning the raw bytes.
+    pub fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Returns `true` if this is the all-zero sentinel digest.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 32]
+    }
+
+    /// Lowercase hex representation (64 characters).
+    pub fn to_hex(&self) -> String {
+        hexutil::encode(&self.0)
+    }
+
+    /// Parses a 64-character hex string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDigestError`] if the input is not exactly 64 hex
+    /// characters.
+    pub fn from_hex(s: &str) -> Result<Self, ParseDigestError> {
+        let bytes = hexutil::decode(s).map_err(|_| ParseDigestError)?;
+        let arr: [u8; 32] = bytes.try_into().map_err(|_| ParseDigestError)?;
+        Ok(Digest(arr))
+    }
+
+    /// Number of leading zero *bits*, interpreting the digest as a
+    /// big-endian 256-bit integer. This is the Hashcash-style difficulty
+    /// measure used by Nano's anti-spam PoW and by Bitcoin's original
+    /// description ("the pattern starts with at least a predefined number
+    /// of 0 bits").
+    pub fn leading_zero_bits(&self) -> u32 {
+        let mut bits = 0;
+        for byte in &self.0 {
+            if *byte == 0 {
+                bits += 8;
+            } else {
+                bits += byte.leading_zeros();
+                break;
+            }
+        }
+        bits
+    }
+
+    /// Returns `true` if the digest, read as a big-endian 256-bit
+    /// integer, is at or below `target`. This is the "partial hash
+    /// inversion" success condition for proof-of-work.
+    pub fn meets_target(&self, target: &Digest) -> bool {
+        self <= target
+    }
+
+    /// Builds the target digest corresponding to `bits` leading zero
+    /// bits: the largest value with at least that many leading zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 256`.
+    pub fn target_with_leading_zero_bits(bits: u32) -> Digest {
+        assert!(bits <= 256, "a 256-bit value has at most 256 zero bits");
+        let mut out = [0xffu8; 32];
+        let full_bytes = (bits / 8) as usize;
+        let rem = bits % 8;
+        for byte in out.iter_mut().take(full_bytes) {
+            *byte = 0;
+        }
+        if full_bytes < 32 && rem > 0 {
+            out[full_bytes] = 0xffu8 >> rem;
+        }
+        Digest(out)
+    }
+
+    /// A short 8-hex-character prefix for human-readable logs.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+
+    /// Interprets the first 8 bytes as a big-endian `u64`. Handy for
+    /// deriving deterministic pseudo-random values from hashes.
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl FromStr for Digest {
+    type Err = ParseDigestError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Digest::from_hex(s)
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Error returned when parsing a [`Digest`] from a malformed hex string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseDigestError;
+
+impl fmt::Display for ParseDigestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid digest: expected 64 hex characters")
+    }
+}
+
+impl std::error::Error for ParseDigestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn hex_round_trip() {
+        let d = sha256(b"round trip");
+        let parsed = Digest::from_hex(&d.to_hex()).unwrap();
+        assert_eq!(d, parsed);
+    }
+
+    #[test]
+    fn from_str_rejects_bad_input() {
+        assert!(Digest::from_str("xyz").is_err());
+        assert!(Digest::from_str(&"a".repeat(63)).is_err());
+        assert!(Digest::from_str(&"g".repeat(64)).is_err());
+        assert!(Digest::from_str(&"a".repeat(64)).is_ok());
+    }
+
+    #[test]
+    fn zero_and_max() {
+        assert!(Digest::ZERO.is_zero());
+        assert!(!Digest::MAX.is_zero());
+        assert_eq!(Digest::ZERO.leading_zero_bits(), 256);
+        assert_eq!(Digest::MAX.leading_zero_bits(), 0);
+        assert!(Digest::ZERO < Digest::MAX);
+    }
+
+    #[test]
+    fn leading_zero_bits_counts_correctly() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 0b0001_0000;
+        assert_eq!(Digest::from_bytes(bytes).leading_zero_bits(), 3);
+
+        let mut bytes = [0u8; 32];
+        bytes[2] = 0b1000_0000;
+        assert_eq!(Digest::from_bytes(bytes).leading_zero_bits(), 16);
+    }
+
+    #[test]
+    fn target_construction() {
+        let t = Digest::target_with_leading_zero_bits(0);
+        assert_eq!(t, Digest::MAX);
+
+        let t8 = Digest::target_with_leading_zero_bits(8);
+        assert_eq!(t8.as_bytes()[0], 0);
+        assert_eq!(t8.as_bytes()[1], 0xff);
+        assert_eq!(t8.leading_zero_bits(), 8);
+
+        let t12 = Digest::target_with_leading_zero_bits(12);
+        assert_eq!(t12.as_bytes()[0], 0);
+        assert_eq!(t12.as_bytes()[1], 0x0f);
+        assert_eq!(t12.leading_zero_bits(), 12);
+
+        let t256 = Digest::target_with_leading_zero_bits(256);
+        assert!(t256.is_zero());
+    }
+
+    #[test]
+    fn meets_target_is_monotone() {
+        let hash = sha256(b"pow attempt");
+        let easy = Digest::target_with_leading_zero_bits(0);
+        let hard = Digest::target_with_leading_zero_bits(200);
+        assert!(hash.meets_target(&easy));
+        assert!(!hash.meets_target(&hard));
+    }
+
+    #[test]
+    fn ordering_is_bigendian_numeric() {
+        let mut lo = [0u8; 32];
+        lo[31] = 1;
+        let mut hi = [0u8; 32];
+        hi[0] = 1;
+        assert!(Digest::from_bytes(lo) < Digest::from_bytes(hi));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        let d = Digest::ZERO;
+        assert!(!format!("{d:?}").is_empty());
+        assert_eq!(format!("{d}").len(), 64);
+        assert_eq!(d.short().len(), 8);
+    }
+
+    #[test]
+    fn prefix_u64_matches_bytes() {
+        let mut bytes = [0u8; 32];
+        bytes[7] = 5;
+        assert_eq!(Digest::from_bytes(bytes).prefix_u64(), 5);
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal hexadecimal encoding/decoding.
+//!
+//! The workspace avoids external encoding crates; this module provides
+//! the two functions everything else needs.
+
+use std::fmt;
+
+/// Encodes bytes as lowercase hex.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(dlt_crypto::hexutil::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (upper- or lowercase) into bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] if the input has odd length or contains a
+/// non-hex character.
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeHexError::OddLength);
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = val(pair[0]).ok_or(DecodeHexError::InvalidChar(pair[0] as char))?;
+        let lo = val(pair[1]).ok_or(DecodeHexError::InvalidChar(pair[1] as char))?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Error produced by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeHexError {
+    /// Input length was not a multiple of two.
+    OddLength,
+    /// Input contained a character outside `[0-9a-fA-F]`.
+    InvalidChar(char),
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeHexError::OddLength => f.write_str("hex string has odd length"),
+            DecodeHexError::InvalidChar(c) => write!(f, "invalid hex character {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeHexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(decode("abc"), Err(DecodeHexError::OddLength));
+    }
+
+    #[test]
+    fn invalid_char_rejected() {
+        assert_eq!(decode("zz"), Err(DecodeHexError::InvalidChar('z')));
+    }
+}

@@ -1,0 +1,280 @@
+//! Lamport one-time signatures.
+//!
+//! A Lamport signature over a 256-bit message digest reveals, for every
+//! message bit, one of two secret preimages committed to by the public
+//! key. Security rests solely on the preimage resistance of the
+//! underlying hash (our [`sha256`](crate::sha256)), which makes the
+//! scheme a clean from-scratch substitute for the ECDSA/ed25519
+//! signatures real ledgers use (see DESIGN.md §2): ledger logic only
+//! needs *unforgeability* and *public verifiability*, which Lamport
+//! provides.
+//!
+//! Being one-time, Lamport keys fit the UTXO model (one fresh key per
+//! output, exactly how address-reuse-avoiding Bitcoin wallets behave);
+//! account chains use the many-time [`mss`](crate::mss) scheme instead.
+//!
+//! To keep public keys compact (a single digest rather than 16 KiB), the
+//! public key here is a *commitment*: `H(pk_0,0 ‖ pk_0,1 ‖ … ‖ pk_255,1)`
+//! where `pk_b,v = H(secret_b,v)`. A signature then reveals, per bit,
+//! the selected secret preimage *and* the public hash of the opposite
+//! slot, which lets the verifier recompute the commitment. This is the
+//! standard hash-commitment packaging of Lamport's scheme.
+//!
+//! Key material is derived deterministically from a 32-byte seed, so a
+//! keypair stores just its seed plus the cached public commitment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Decode, DecodeError, Encode};
+use crate::digest::Digest;
+use crate::sha256::{sha256, Sha256};
+
+/// Number of message bits signed (a SHA-256 digest).
+pub const MSG_BITS: usize = 256;
+
+/// Domain-separation prefixes keep the PRF, public parts and commitment
+/// from colliding with each other or with other schemes in the crate.
+const DOM_SECRET: &[u8] = b"lamport-secret";
+const DOM_COMMIT: &[u8] = b"lamport-public";
+
+/// Derives the secret preimage for (`bit`, `value`) from a seed.
+fn secret_part(seed: &[u8; 32], bit: u16, value: u8) -> Digest {
+    let mut h = Sha256::new();
+    h.update(DOM_SECRET);
+    h.update(seed);
+    h.update(&bit.to_be_bytes());
+    h.update(&[value]);
+    h.finalize()
+}
+
+/// Extracts bit `index` of a digest (0 = most significant bit of byte 0).
+fn bit_of(msg: &Digest, index: usize) -> u8 {
+    let byte = msg.as_bytes()[index / 8];
+    (byte >> (7 - (index % 8))) & 1
+}
+
+/// A Lamport one-time keypair.
+///
+/// # Example
+///
+/// ```
+/// use dlt_crypto::lamport::LamportKeypair;
+/// use dlt_crypto::sha256::sha256;
+///
+/// let keypair = LamportKeypair::from_seed([7u8; 32]);
+/// let msg = sha256(b"pay 5 to carol");
+/// let sig = keypair.sign(&msg);
+/// assert!(sig.verify(&msg, &keypair.public_digest()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LamportKeypair {
+    seed: [u8; 32],
+    public_digest: Digest,
+}
+
+impl LamportKeypair {
+    /// Derives a keypair deterministically from a seed.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut h = Sha256::new();
+        h.update(DOM_COMMIT);
+        for bit in 0..MSG_BITS as u16 {
+            for value in 0..2u8 {
+                let pk_part = sha256(secret_part(&seed, bit, value).as_bytes());
+                h.update(pk_part.as_bytes());
+            }
+        }
+        LamportKeypair {
+            seed,
+            public_digest: h.finalize(),
+        }
+    }
+
+    /// Generates a keypair from an RNG.
+    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        Self::from_seed(seed)
+    }
+
+    /// The compact commitment to the public key (what addresses hash).
+    pub fn public_digest(&self) -> Digest {
+        self.public_digest
+    }
+
+    /// Signs a message digest by revealing one preimage per message bit,
+    /// alongside the public hash of the unrevealed slot.
+    ///
+    /// Signing two *different* messages with the same Lamport key
+    /// reveals enough preimages to forge; callers must treat keypairs as
+    /// strictly one-time (the ledgers enforce this by construction).
+    pub fn sign(&self, msg: &Digest) -> LamportSignature {
+        let mut revealed = Vec::with_capacity(MSG_BITS);
+        let mut opposite_public = Vec::with_capacity(MSG_BITS);
+        for bit in 0..MSG_BITS {
+            let value = bit_of(msg, bit);
+            revealed.push(secret_part(&self.seed, bit as u16, value));
+            let other = secret_part(&self.seed, bit as u16, 1 - value);
+            opposite_public.push(sha256(other.as_bytes()));
+        }
+        LamportSignature {
+            revealed,
+            opposite_public,
+        }
+    }
+}
+
+/// A Lamport signature: per message bit, the revealed secret preimage
+/// and the public hash of the opposite slot (2 × 256 × 32 B = 16 KiB).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LamportSignature {
+    revealed: Vec<Digest>,
+    opposite_public: Vec<Digest>,
+}
+
+impl LamportSignature {
+    /// Verifies the signature against a message digest and the signer's
+    /// public-key commitment.
+    ///
+    /// Recomputes the commitment by hashing, for every bit, the pair
+    /// `(pk_bit,0, pk_bit,1)` where the slot selected by the message bit
+    /// is `H(revealed)` and the other slot is taken from the signature.
+    pub fn verify(&self, msg: &Digest, public_digest: &Digest) -> bool {
+        if self.revealed.len() != MSG_BITS || self.opposite_public.len() != MSG_BITS {
+            return false;
+        }
+        let mut h = Sha256::new();
+        h.update(DOM_COMMIT);
+        for bit in 0..MSG_BITS {
+            let value = bit_of(msg, bit);
+            let revealed_pk = sha256(self.revealed[bit].as_bytes());
+            let (pk0, pk1) = if value == 0 {
+                (revealed_pk, self.opposite_public[bit])
+            } else {
+                (self.opposite_public[bit], revealed_pk)
+            };
+            h.update(pk0.as_bytes());
+            h.update(pk1.as_bytes());
+        }
+        h.finalize() == *public_digest
+    }
+
+    /// Encoded size of the signature in bytes (for ledger-size
+    /// accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Encode for LamportSignature {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.revealed.encode(out);
+        self.opposite_public.encode(out);
+    }
+}
+
+impl Decode for LamportSignature {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let revealed = Vec::<Digest>::decode(input)?;
+        let opposite_public = Vec::<Digest>::decode(input)?;
+        if revealed.len() != MSG_BITS || opposite_public.len() != MSG_BITS {
+            return Err(DecodeError::Invalid("lamport signature arity"));
+        }
+        Ok(LamportSignature {
+            revealed,
+            opposite_public,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decode_exact;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = LamportKeypair::from_seed([1u8; 32]);
+        let msg = sha256(b"message");
+        let sig = kp.sign(&msg);
+        assert!(sig.verify(&msg, &kp.public_digest()));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = LamportKeypair::from_seed([2u8; 32]);
+        let sig = kp.sign(&sha256(b"original"));
+        assert!(!sig.verify(&sha256(b"forged"), &kp.public_digest()));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = LamportKeypair::from_seed([3u8; 32]);
+        let kp2 = LamportKeypair::from_seed([4u8; 32]);
+        let msg = sha256(b"message");
+        let sig = kp1.sign(&msg);
+        assert!(!sig.verify(&msg, &kp2.public_digest()));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = LamportKeypair::from_seed([5u8; 32]);
+        let msg = sha256(b"message");
+        let mut sig = kp.sign(&msg);
+        sig.revealed[17] = sha256(b"garbage");
+        assert!(!sig.verify(&msg, &kp.public_digest()));
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = LamportKeypair::from_seed([9u8; 32]);
+        let b = LamportKeypair::from_seed([9u8; 32]);
+        assert_eq!(a.public_digest(), b.public_digest());
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        let a = LamportKeypair::from_seed([10u8; 32]);
+        let b = LamportKeypair::from_seed([11u8; 32]);
+        assert_ne!(a.public_digest(), b.public_digest());
+    }
+
+    #[test]
+    fn generate_uses_rng() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = LamportKeypair::generate(&mut rng);
+        let b = LamportKeypair::generate(&mut rng);
+        assert_ne!(a.public_digest(), b.public_digest());
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let kp = LamportKeypair::from_seed([6u8; 32]);
+        let msg = sha256(b"encode me");
+        let sig = kp.sign(&msg);
+        let bytes = sig.encode_to_vec();
+        let back: LamportSignature = decode_exact(&bytes).unwrap();
+        assert_eq!(back, sig);
+        assert!(back.verify(&msg, &kp.public_digest()));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_arity() {
+        let short = LamportSignature {
+            revealed: vec![Digest::ZERO; 10],
+            opposite_public: vec![Digest::ZERO; 10],
+        };
+        let bytes = short.encode_to_vec();
+        assert!(decode_exact::<LamportSignature>(&bytes).is_err());
+    }
+
+    #[test]
+    fn signature_size_is_16kib_plus_overhead() {
+        let kp = LamportKeypair::from_seed([7u8; 32]);
+        let sig = kp.sign(&sha256(b"size"));
+        let size = sig.size_bytes();
+        assert!(size >= 2 * 256 * 32, "size {size}");
+        assert!(size < 2 * 256 * 32 + 16, "size {size}");
+    }
+}

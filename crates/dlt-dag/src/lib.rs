@@ -1,0 +1,39 @@
+//! The DAG paradigm of `dlt-compare`: a Nano-like **block-lattice**
+//! (paper §II-B, Fig. 2 & 3).
+//!
+//! "A DAG structure stores transactions in nodes, where each node holds
+//! a single transaction. In Nano, every account is linked to its own
+//! account-chain … Nodes are appended to an account-chain, each node
+//! representing a single transaction."
+//!
+//! * [`block`] — lattice blocks (open/send/receive/change), account
+//!   signatures, and the Hashcash-style anti-spam proof-of-work the
+//!   paper describes in §III-B.
+//! * [`lattice`] — the ledger: per-account chains, the pending
+//!   (unsettled) send map and its settlement on receive (Fig. 3), fork
+//!   detection, rollback of unconfirmed branches, cementing, and
+//!   delegated representative weights.
+//! * [`account`] — an account holder that builds signed, worked blocks.
+//! * [`voting`] — weighted representative voting: elections over
+//!   conflicting blocks, quorum confirmation (§III-B, §IV-B).
+//! * [`node`] — a network node for the [`dlt-sim`](dlt_sim) engine:
+//!   publishes blocks, relays, votes as a representative, confirms.
+//! * [`prune`] — node roles (historical / current / light) and the
+//!   ledger-size accounting of §V-B.
+//! * [`tangle`] — an IOTA-style tangle (the paper's footnote-1 "other
+//!   DAG approach"): approve-two-tips attachment, cumulative weight,
+//!   MCMC tip selection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod block;
+pub mod lattice;
+pub mod node;
+pub mod prune;
+pub mod tangle;
+pub mod voting;
+
+pub use block::{BlockKind, LatticeBlock};
+pub use lattice::{Lattice, LatticeError};

@@ -1,0 +1,385 @@
+//! An IOTA-style tangle — the paper's *other* DAG shape (footnote 1:
+//! "Other DAG approaches are IOTA and Byteball").
+//!
+//! Where Nano's block-lattice is one chain per account, the tangle is a
+//! single unstructured DAG: every new transaction *approves two
+//! previous transactions* (its parents), directly verifying them. A
+//! transaction's **cumulative weight** — the number of transactions
+//! directly or indirectly approving it — grows as the tangle builds on
+//! top of it, and plays the role block depth plays in §IV-A: a
+//! transaction is confirmed once its cumulative weight passes a
+//! threshold.
+//!
+//! Two tip-selection strategies are implemented:
+//!
+//! * [`TipSelection::UniformRandom`] — pick any two tips, the simplest
+//!   reference rule;
+//! * [`TipSelection::WeightedWalk`] — IOTA's MCMC walk: from genesis,
+//!   repeatedly step to a child with probability ∝ exp(α·ΔW). Higher α
+//!   concentrates approval on the heavy subtangle, which defends
+//!   against lazy/parasite tips at the cost of leaving more honest
+//!   tips behind — the trade-off the `tangle_dynamics` test exercises.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dlt_crypto::sha256::Sha256;
+use dlt_crypto::Digest;
+use dlt_sim::rng::SimRng;
+
+/// How new transactions choose the two tips they approve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TipSelection {
+    /// Two independent uniformly random tips.
+    UniformRandom,
+    /// A biased random walk from genesis with the given α ≥ 0
+    /// (α = 0 degenerates to an unbiased walk).
+    WeightedWalk {
+        /// Bias strength toward heavier children.
+        alpha: f64,
+    },
+}
+
+/// One transaction site in the tangle.
+#[derive(Debug, Clone)]
+struct Site {
+    approves: [Digest; 2],
+    approvers: Vec<Digest>,
+    cumulative_weight: u64,
+}
+
+/// The tangle.
+#[derive(Debug, Clone)]
+pub struct Tangle {
+    sites: HashMap<Digest, Site>,
+    tips: HashSet<Digest>,
+    genesis: Digest,
+    /// Cumulative weight at which a transaction counts as confirmed.
+    confirmation_weight: u64,
+}
+
+impl Tangle {
+    /// Creates a tangle with the genesis transaction and the given
+    /// confirmation-weight threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confirmation_weight == 0`.
+    pub fn new(confirmation_weight: u64) -> Self {
+        assert!(confirmation_weight > 0, "need a positive threshold");
+        let genesis = Self::tx_id(&Digest::ZERO, &[Digest::ZERO, Digest::ZERO], 0);
+        let mut sites = HashMap::new();
+        sites.insert(
+            genesis,
+            Site {
+                approves: [Digest::ZERO, Digest::ZERO],
+                approvers: Vec::new(),
+                cumulative_weight: 0,
+            },
+        );
+        Tangle {
+            sites,
+            tips: HashSet::from([genesis]),
+            genesis,
+            confirmation_weight,
+        }
+    }
+
+    fn tx_id(payload: &Digest, parents: &[Digest; 2], nonce: u64) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"tangle-tx");
+        h.update(payload.as_bytes());
+        h.update(parents[0].as_bytes());
+        h.update(parents[1].as_bytes());
+        h.update(&nonce.to_be_bytes());
+        h.finalize()
+    }
+
+    /// The genesis transaction id.
+    pub fn genesis(&self) -> Digest {
+        self.genesis
+    }
+
+    /// Number of transactions (including genesis).
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether only the genesis exists.
+    pub fn is_empty(&self) -> bool {
+        self.sites.len() == 1
+    }
+
+    /// Current tip count — the paper-relevant health metric (a healthy
+    /// tangle keeps the tip pool roughly constant under steady load).
+    pub fn tip_count(&self) -> usize {
+        self.tips.len()
+    }
+
+    /// A transaction's cumulative weight (indirect approvals).
+    pub fn cumulative_weight(&self, id: &Digest) -> Option<u64> {
+        self.sites.get(id).map(|s| s.cumulative_weight)
+    }
+
+    /// Whether a transaction has reached the confirmation weight.
+    pub fn is_confirmed(&self, id: &Digest) -> bool {
+        self.cumulative_weight(id)
+            .is_some_and(|w| w >= self.confirmation_weight)
+    }
+
+    /// The two parents a transaction approved.
+    pub fn parents(&self, id: &Digest) -> Option<[Digest; 2]> {
+        self.sites.get(id).map(|s| s.approves)
+    }
+
+    /// Selects two tips per the strategy.
+    pub fn select_tips(&self, strategy: TipSelection, rng: &mut SimRng) -> [Digest; 2] {
+        match strategy {
+            TipSelection::UniformRandom => {
+                let tips: Vec<Digest> = self.tips.iter().copied().collect();
+                let a = tips[rng.below(tips.len() as u64) as usize];
+                let b = tips[rng.below(tips.len() as u64) as usize];
+                [a, b]
+            }
+            TipSelection::WeightedWalk { alpha } => {
+                [self.weighted_walk(alpha, rng), self.weighted_walk(alpha, rng)]
+            }
+        }
+    }
+
+    /// One MCMC walk from genesis to a tip, stepping to approvers with
+    /// probability ∝ exp(α · weight).
+    fn weighted_walk(&self, alpha: f64, rng: &mut SimRng) -> Digest {
+        let mut here = self.genesis;
+        loop {
+            let site = &self.sites[&here];
+            if site.approvers.is_empty() {
+                return here; // a tip
+            }
+            let max_weight = site
+                .approvers
+                .iter()
+                .map(|a| self.sites[a].cumulative_weight)
+                .max()
+                .expect("non-empty");
+            let weights: Vec<f64> = site
+                .approvers
+                .iter()
+                .map(|a| {
+                    // Stabilised exponent: exp(α (w − w_max)) ≤ 1.
+                    let w = self.sites[a].cumulative_weight;
+                    (alpha * (w as f64 - max_weight as f64)).exp()
+                })
+                .collect();
+            let choice = rng.weighted_choice(&weights);
+            here = site.approvers[choice];
+        }
+    }
+
+    /// Attaches a new transaction approving two tips chosen by
+    /// `strategy`; returns its id.
+    ///
+    /// Cumulative weights of all (transitive) ancestors increase by
+    /// one — the mechanism that buries old transactions ever deeper.
+    pub fn attach(&mut self, payload: Digest, strategy: TipSelection, rng: &mut SimRng) -> Digest {
+        let parents = self.select_tips(strategy, rng);
+        self.attach_approving(payload, parents, rng.below(u64::MAX))
+    }
+
+    /// Attaches approving explicit parents (used by tests and by the
+    /// lazy-tip attack below).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parent is unknown.
+    pub fn attach_approving(
+        &mut self,
+        payload: Digest,
+        parents: [Digest; 2],
+        nonce: u64,
+    ) -> Digest {
+        assert!(
+            parents.iter().all(|p| self.sites.contains_key(p)),
+            "parents must exist"
+        );
+        let id = Self::tx_id(&payload, &parents, nonce);
+        if self.sites.contains_key(&id) {
+            return id; // idempotent re-attach
+        }
+        self.sites.insert(
+            id,
+            Site {
+                approves: parents,
+                approvers: Vec::new(),
+                cumulative_weight: 0,
+            },
+        );
+        for parent in parents.iter().collect::<HashSet<_>>() {
+            self.sites
+                .get_mut(parent)
+                .expect("checked")
+                .approvers
+                .push(id);
+            self.tips.remove(parent);
+        }
+        self.tips.insert(id);
+
+        // Propagate +1 weight to every distinct ancestor.
+        let mut seen = HashSet::new();
+        let mut queue: VecDeque<Digest> = parents.iter().copied().collect();
+        while let Some(ancestor) = queue.pop_front() {
+            if ancestor.is_zero() || !seen.insert(ancestor) {
+                continue;
+            }
+            let site = self.sites.get_mut(&ancestor).expect("ancestors exist");
+            site.cumulative_weight += 1;
+            queue.extend(site.approves);
+        }
+        id
+    }
+
+    /// Confirmation latency proxy: how many subsequent attachments a
+    /// transaction needed before confirming (None if unconfirmed).
+    pub fn confirmed_fraction(&self) -> f64 {
+        let confirmed = self
+            .sites
+            .values()
+            .filter(|s| s.cumulative_weight >= self.confirmation_weight)
+            .count();
+        confirmed as f64 / self.sites.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt_crypto::sha256::sha256;
+
+    fn payload(i: u64) -> Digest {
+        sha256(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn genesis_only_tangle() {
+        let tangle = Tangle::new(5);
+        assert!(tangle.is_empty());
+        assert_eq!(tangle.tip_count(), 1);
+        assert_eq!(tangle.cumulative_weight(&tangle.genesis()), Some(0));
+        assert!(!tangle.is_confirmed(&tangle.genesis()));
+    }
+
+    #[test]
+    fn attachment_updates_tips_and_weights() {
+        let mut tangle = Tangle::new(2);
+        let mut rng = SimRng::new(1);
+        let genesis = tangle.genesis();
+        let a = tangle.attach(payload(1), TipSelection::UniformRandom, &mut rng);
+        // a approves genesis twice (only tip available).
+        assert_eq!(tangle.parents(&a), Some([genesis, genesis]));
+        assert_eq!(tangle.tip_count(), 1);
+        assert_eq!(tangle.cumulative_weight(&genesis), Some(1));
+
+        let b = tangle.attach(payload(2), TipSelection::UniformRandom, &mut rng);
+        assert_eq!(tangle.cumulative_weight(&genesis), Some(2));
+        assert_eq!(tangle.cumulative_weight(&a), Some(1));
+        assert!(tangle.is_confirmed(&genesis));
+        assert!(!tangle.is_confirmed(&b));
+    }
+
+    #[test]
+    fn weights_count_distinct_descendants() {
+        // Diamond: c approves a and b, both approving genesis; genesis
+        // weight must count c once.
+        let mut tangle = Tangle::new(100);
+        let genesis = tangle.genesis();
+        let a = tangle.attach_approving(payload(1), [genesis, genesis], 1);
+        let b = tangle.attach_approving(payload(2), [genesis, genesis], 2);
+        let c = tangle.attach_approving(payload(3), [a, b], 3);
+        assert_eq!(tangle.cumulative_weight(&genesis), Some(3)); // a, b, c
+        assert_eq!(tangle.cumulative_weight(&a), Some(1));
+        assert_eq!(tangle.cumulative_weight(&b), Some(1));
+        assert_eq!(tangle.cumulative_weight(&c), Some(0));
+        assert_eq!(tangle.tip_count(), 1);
+    }
+
+    #[test]
+    fn steady_load_keeps_tip_pool_bounded() {
+        let mut tangle = Tangle::new(10);
+        let mut rng = SimRng::new(2);
+        for i in 0..500 {
+            tangle.attach(payload(i), TipSelection::UniformRandom, &mut rng);
+        }
+        // Uniform selection keeps tips ~O(1)-ish (λ-dependent in the
+        // IOTA analysis; sequential attachment here trends low).
+        assert!(tangle.tip_count() < 50, "tips {}", tangle.tip_count());
+        assert_eq!(tangle.len(), 501);
+        // Early transactions are deeply confirmed.
+        assert!(tangle.is_confirmed(&tangle.genesis()));
+        assert!(tangle.confirmed_fraction() > 0.8);
+    }
+
+    #[test]
+    fn weighted_walk_reaches_a_tip_and_prefers_heavy_subtangle() {
+        let mut tangle = Tangle::new(10);
+        let genesis = tangle.genesis();
+        // Build a heavy branch (chain of 30) and a light branch (1 tx).
+        let mut heavy_tip = tangle.attach_approving(payload(1), [genesis, genesis], 1);
+        for i in 2..30 {
+            heavy_tip = tangle.attach_approving(payload(i), [heavy_tip, heavy_tip], i);
+        }
+        let light_tip = tangle.attach_approving(payload(999), [genesis, genesis], 999);
+
+        let mut rng = SimRng::new(3);
+        let mut heavy_hits = 0;
+        let runs = 200;
+        for _ in 0..runs {
+            let tip = tangle.select_tips(TipSelection::WeightedWalk { alpha: 0.5 }, &mut rng)[0];
+            if tip != light_tip {
+                heavy_hits += 1;
+            }
+        }
+        assert!(
+            heavy_hits > runs * 8 / 10,
+            "weighted walk picked the heavy branch {heavy_hits}/{runs}"
+        );
+    }
+
+    #[test]
+    fn lazy_tip_starves_under_weighted_walk() {
+        // A "lazy" participant approves only old transactions and never
+        // helps the frontier; the weighted walk rarely builds on it.
+        let mut tangle = Tangle::new(10);
+        let mut rng = SimRng::new(4);
+        for i in 0..100 {
+            tangle.attach(payload(i), TipSelection::WeightedWalk { alpha: 0.3 }, &mut rng);
+        }
+        let genesis = tangle.genesis();
+        let lazy = tangle.attach_approving(payload(5000), [genesis, genesis], 5000);
+        for i in 100..200 {
+            tangle.attach(payload(i), TipSelection::WeightedWalk { alpha: 0.3 }, &mut rng);
+        }
+        let lazy_weight = tangle.cumulative_weight(&lazy).unwrap();
+        assert!(
+            lazy_weight < 5,
+            "lazy tip accumulated weight {lazy_weight} despite approving stale txs"
+        );
+        assert!(!tangle.is_confirmed(&lazy));
+    }
+
+    #[test]
+    fn idempotent_reattach() {
+        let mut tangle = Tangle::new(5);
+        let genesis = tangle.genesis();
+        let a = tangle.attach_approving(payload(1), [genesis, genesis], 7);
+        let a2 = tangle.attach_approving(payload(1), [genesis, genesis], 7);
+        assert_eq!(a, a2);
+        assert_eq!(tangle.len(), 2);
+        assert_eq!(tangle.cumulative_weight(&genesis), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "parents must exist")]
+    fn unknown_parent_rejected() {
+        let mut tangle = Tangle::new(5);
+        tangle.attach_approving(payload(1), [sha256(b"ghost"), tangle.genesis()], 0);
+    }
+}

@@ -1,0 +1,574 @@
+//! The discrete-event loop.
+//!
+//! A [`Simulation`] owns a set of nodes implementing [`SimNode`] and a
+//! time-ordered event queue. Nodes react to message deliveries and
+//! timers through a [`Context`], which lets them send messages (subject
+//! to the [`Network`] latency and fault
+//! model), broadcast to their peers, set timers, and record metrics.
+//!
+//! Execution is deterministic: events are ordered by `(time, sequence
+//! number)`, and all randomness comes from the simulation's seeded RNG.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::latency::LatencyModel;
+use crate::metrics::Metrics;
+use crate::network::{Network, NodeId};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Behaviour of one simulated node.
+///
+/// `M` is the message type of the whole simulation (typically an enum
+/// of the protocol's message kinds).
+pub trait SimNode<M> {
+    /// Called once when the node is added to the simulation.
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _timer: u64) {}
+}
+
+impl<M, T: SimNode<M> + ?Sized> SimNode<M> for Box<T> {
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        (**self).on_start(ctx)
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M) {
+        (**self).on_message(ctx, from, msg)
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: u64) {
+        (**self).on_timer(ctx, timer)
+    }
+}
+
+/// What the engine schedules.
+#[derive(Debug)]
+enum Event<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, id: u64 },
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Engine state shared between the simulation and node contexts.
+struct Core<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    network: Network,
+    rng: SimRng,
+    metrics: Metrics,
+    node_count: usize,
+}
+
+impl<M> Core<M> {
+    fn schedule(&mut self, at: SimTime, event: Event<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    fn send_from(&mut self, from: NodeId, to: NodeId, msg: M)
+    where
+        M: Clone,
+    {
+        for delay in self.network.deliveries(from, to, &mut self.rng) {
+            self.metrics.inc("net.messages");
+            self.schedule(
+                self.now.saturating_add(delay),
+                Event::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+}
+
+/// The API a node sees while handling an event.
+pub struct Context<'a, M> {
+    core: &'a mut Core<M>,
+    node: NodeId,
+}
+
+impl<'a, M: Clone> Context<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The handled node's own id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.core.node_count
+    }
+
+    /// The simulation's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.rng
+    }
+
+    /// The shared metrics sink.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// Sends `msg` to `to`, subject to the network's latency/faults.
+    /// Messages to unreachable nodes (partitioned, not a peer, self)
+    /// are silently dropped, as on a real network.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let from = self.node;
+        self.core.send_from(from, to, msg);
+    }
+
+    /// Sends `msg` to every current peer (full mesh unless an explicit
+    /// topology was installed). Each copy samples its own latency, so
+    /// different peers hear about it at different times — the root cause
+    /// of the soft forks in paper §IV-A.
+    pub fn broadcast(&mut self, msg: M) {
+        let from = self.node;
+        let peers = self.core.network.peers_of(from, self.core.node_count);
+        for to in peers {
+            self.core.send_from(from, to, msg.clone());
+        }
+    }
+
+    /// Schedules this node's [`SimNode::on_timer`] to fire after
+    /// `delay` with the given id.
+    pub fn set_timer(&mut self, delay: SimTime, id: u64) {
+        let node = self.node;
+        let at = self.core.now.saturating_add(delay);
+        self.core.schedule(at, Event::Timer { node, id });
+    }
+}
+
+/// A deterministic discrete-event simulation over nodes of type `N`.
+///
+/// For heterogeneous node sets use `N = Box<dyn SimNode<M>>`.
+pub struct Simulation<M, N> {
+    nodes: Vec<N>,
+    core: Core<M>,
+}
+
+impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
+    /// Creates a simulation with a fault-free full-mesh network using
+    /// the given latency model.
+    pub fn new(seed: u64, latency: LatencyModel) -> Self {
+        Self::with_network(seed, Network::new(latency))
+    }
+
+    /// Creates a simulation over a fully configured network.
+    pub fn with_network(seed: u64, network: Network) -> Self {
+        Simulation {
+            nodes: Vec::new(),
+            core: Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                network,
+                rng: SimRng::new(seed),
+                metrics: Metrics::new(),
+                node_count: 0,
+            },
+        }
+    }
+
+    /// Adds a node and invokes its [`SimNode::on_start`]. Returns the
+    /// node's id.
+    pub fn add_node(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        self.core.node_count = self.nodes.len();
+        let mut ctx = Context {
+            core: &mut self.core,
+            node: id,
+        };
+        self.nodes[id.0].on_start(&mut ctx);
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node (e.g. to inspect final state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.0]
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// The network, for reconfiguration mid-run (partitions, latency).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.core.network
+    }
+
+    /// The shared metrics sink.
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Mutable metrics access (e.g. for harness-level counters).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// The simulation RNG (e.g. for workload generation).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.core.rng
+    }
+
+    /// Injects a message from `from` to `to` as if `from` had sent it
+    /// now (samples network latency and faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range.
+    pub fn send_external(&mut self, from: NodeId, to: NodeId, msg: M) {
+        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len());
+        self.core.send_from(from, to, msg);
+    }
+
+    /// Delivers a message directly at an absolute time, bypassing the
+    /// network model — used by workload generators that model clients
+    /// outside the peer-to-peer fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range or `at` is in the past.
+    pub fn deliver_at(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+        assert!(to.0 < self.nodes.len(), "unknown destination node");
+        assert!(at >= self.core.now, "cannot schedule in the past");
+        self.core.schedule(at, Event::Deliver { from, to, msg });
+    }
+
+    /// Schedules a timer on a node from outside the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_timer_for(&mut self, node: NodeId, delay: SimTime, id: u64) {
+        assert!(node.0 < self.nodes.len(), "unknown node");
+        let at = self.core.now.saturating_add(delay);
+        self.core.schedule(at, Event::Timer { node, id });
+    }
+
+    /// Processes the next event, if any. Returns `false` when the queue
+    /// is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(scheduled) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(scheduled.at >= self.core.now, "time went backwards");
+        self.core.now = scheduled.at;
+        match scheduled.event {
+            Event::Deliver { from, to, msg } => {
+                let mut ctx = Context {
+                    core: &mut self.core,
+                    node: to,
+                };
+                self.nodes[to.0].on_message(&mut ctx, from, msg);
+            }
+            Event::Timer { node, id } => {
+                let mut ctx = Context {
+                    core: &mut self.core,
+                    node,
+                };
+                self.nodes[node.0].on_timer(&mut ctx, id);
+            }
+        }
+        true
+    }
+
+    /// Runs all events scheduled at or before `deadline`, then advances
+    /// the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(next) = self.core.queue.peek() {
+            if next.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.core.now = deadline;
+    }
+
+    /// Runs until the event queue drains or the next event would exceed
+    /// `limit`. The clock stays at the last processed event (it does
+    /// not jump to `limit`).
+    pub fn run_until_idle(&mut self, limit: SimTime) {
+        while let Some(next) = self.core.queue.peek() {
+            if next.at > limit {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        received: Vec<(NodeId, Msg, SimTime)>,
+        timers: Vec<(u64, SimTime)>,
+        reply: bool,
+    }
+
+    impl SimNode<Msg> for Recorder {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+            self.received.push((from, msg.clone(), ctx.now()));
+            if self.reply {
+                if let Msg::Ping(n) = msg {
+                    ctx.send(from, Msg::Pong(n));
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, timer: u64) {
+            self.timers.push((timer, ctx.now()));
+        }
+    }
+
+    fn fixed(ms: u64) -> LatencyModel {
+        LatencyModel::Fixed(SimTime::from_millis(ms))
+    }
+
+    #[test]
+    fn message_arrives_after_latency() {
+        let mut sim = Simulation::new(1, fixed(10));
+        let a = sim.add_node(Recorder::default());
+        let b = sim.add_node(Recorder::default());
+        sim.send_external(a, b, Msg::Ping(1));
+        sim.run_until_idle(SimTime::from_secs(1));
+        let received = &sim.node(b).received;
+        assert_eq!(received.len(), 1);
+        assert_eq!(received[0].0, a);
+        assert_eq!(received[0].1, Msg::Ping(1));
+        assert_eq!(received[0].2, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let mut sim = Simulation::new(2, fixed(10));
+        let a = sim.add_node(Recorder::default());
+        let b = sim.add_node(Recorder {
+            reply: true,
+            ..Default::default()
+        });
+        sim.send_external(a, b, Msg::Ping(7));
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert_eq!(sim.node(a).received.len(), 1);
+        assert_eq!(sim.node(a).received[0].1, Msg::Pong(7));
+        assert_eq!(sim.node(a).received[0].2, SimTime::from_millis(20));
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn broadcast_reaches_all_peers() {
+        struct Broadcaster;
+        impl SimNode<Msg> for Broadcaster {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.broadcast(Msg::Ping(0));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        let mut sim: Simulation<Msg, Box<dyn SimNode<Msg>>> = Simulation::new(3, fixed(5));
+        let r1 = sim.add_node(Box::new(Recorder::default()) as Box<dyn SimNode<Msg>>);
+        let r2 = sim.add_node(Box::new(Recorder::default()));
+        let _b = sim.add_node(Box::new(Broadcaster));
+        sim.run_until_idle(SimTime::from_secs(1));
+        // Downcast-free check via metrics instead: 2 messages sent.
+        assert_eq!(sim.metrics().count("net.messages"), 2);
+        let _ = (r1, r2);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Simulation::new(4, fixed(1));
+        let a = sim.add_node(Recorder::default());
+        sim.set_timer_for(a, SimTime::from_millis(30), 3);
+        sim.set_timer_for(a, SimTime::from_millis(10), 1);
+        sim.set_timer_for(a, SimTime::from_millis(20), 2);
+        sim.run_until_idle(SimTime::from_secs(1));
+        let ids: Vec<u64> = sim.node(a).timers.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_schedule_order() {
+        let mut sim = Simulation::new(5, fixed(1));
+        let a = sim.add_node(Recorder::default());
+        for id in 0..10 {
+            sim.set_timer_for(a, SimTime::from_millis(5), id);
+        }
+        sim.run_until_idle(SimTime::from_secs(1));
+        let ids: Vec<u64> = sim.node(a).timers.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Simulation::new(6, fixed(1));
+        let a = sim.add_node(Recorder::default());
+        sim.set_timer_for(a, SimTime::from_millis(10), 1);
+        sim.set_timer_for(a, SimTime::from_millis(100), 2);
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.node(a).timers.len(), 1);
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+        assert_eq!(sim.pending_events(), 1);
+        sim.run_until(SimTime::from_millis(200));
+        assert_eq!(sim.node(a).timers.len(), 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> Vec<(u64, SimTime)> {
+            let mut sim = Simulation::new(
+                seed,
+                LatencyModel::Uniform {
+                    min: SimTime::from_millis(1),
+                    max: SimTime::from_millis(50),
+                },
+            );
+            let a = sim.add_node(Recorder::default());
+            let b = sim.add_node(Recorder {
+                reply: true,
+                ..Default::default()
+            });
+            for i in 0..20 {
+                sim.send_external(a, b, Msg::Ping(i));
+            }
+            sim.run_until_idle(SimTime::from_secs(10));
+            sim.node(b)
+                .received
+                .iter()
+                .map(|(_, m, t)| {
+                    let Msg::Ping(n) = m else { panic!() };
+                    (u64::from(*n), *t)
+                })
+                .collect()
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn partition_blocks_delivery_until_heal() {
+        let mut sim = Simulation::new(7, fixed(10));
+        let a = sim.add_node(Recorder::default());
+        let b = sim.add_node(Recorder::default());
+        sim.network_mut().partition(2, &[&[a], &[b]]);
+        sim.send_external(a, b, Msg::Ping(1));
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert!(sim.node(b).received.is_empty());
+        sim.network_mut().heal();
+        sim.send_external(a, b, Msg::Ping(2));
+        sim.run_until_idle(SimTime::from_secs(2));
+        assert_eq!(sim.node(b).received.len(), 1);
+    }
+
+    #[test]
+    fn deliver_at_bypasses_network_faults() {
+        let mut sim = Simulation::new(8, fixed(10));
+        let a = sim.add_node(Recorder::default());
+        let b = sim.add_node(Recorder::default());
+        sim.network_mut().set_drop_probability(1.0);
+        sim.deliver_at(SimTime::from_millis(5), a, b, Msg::Ping(1));
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert_eq!(sim.node(b).received.len(), 1);
+    }
+
+    #[test]
+    fn dropped_messages_never_arrive() {
+        let mut sim = Simulation::new(9, fixed(10));
+        let a = sim.add_node(Recorder::default());
+        let b = sim.add_node(Recorder::default());
+        sim.network_mut().set_drop_probability(1.0);
+        for i in 0..10 {
+            sim.send_external(a, b, Msg::Ping(i));
+        }
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert!(sim.node(b).received.is_empty());
+    }
+
+    #[test]
+    fn step_returns_false_on_empty_queue() {
+        let mut sim: Simulation<Msg, Recorder> = Simulation::new(10, fixed(1));
+        assert!(!sim.step());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn deliver_at_rejects_past() {
+        let mut sim = Simulation::new(11, fixed(1));
+        let a = sim.add_node(Recorder::default());
+        sim.set_timer_for(a, SimTime::from_millis(100), 1);
+        sim.run_until(SimTime::from_millis(200));
+        sim.deliver_at(SimTime::from_millis(50), a, a, Msg::Ping(0));
+    }
+}

@@ -1,0 +1,64 @@
+//! Discrete-event network simulator substrate for `dlt-compare`.
+//!
+//! The paper's comparisons (fork rate, confirmation latency, throughput)
+//! all depend on *network behaviour* — message delay, gossip fan-out,
+//! partitions — rather than on real sockets. This crate provides a
+//! deterministic discrete-event simulation engine the ledger crates run
+//! on:
+//!
+//! * [`time`] — simulated time ([`SimTime`],
+//!   microsecond resolution) and durations.
+//! * [`rng`] — a seeded deterministic RNG plus the samplers the
+//!   experiments need (exponential inter-block times, log-normal
+//!   latencies).
+//! * [`latency`] — pluggable link-latency models.
+//! * [`network`] — the message fabric: full-mesh or explicit topology,
+//!   loss/duplication injection, partitions.
+//! * [`engine`] — the event loop: nodes implement
+//!   [`SimNode`], exchange messages through a
+//!   [`Context`], and set timers.
+//! * [`metrics`] — counters and histograms with percentile queries, the
+//!   raw material of every experiment table.
+//!
+//! Determinism: given the same seed and the same sequence of API calls,
+//! a simulation replays identically (events are ordered by time with a
+//! monotone sequence number as the tiebreak).
+//!
+//! # Example
+//!
+//! ```
+//! use dlt_sim::engine::{Context, SimNode, Simulation};
+//! use dlt_sim::latency::LatencyModel;
+//! use dlt_sim::network::NodeId;
+//! use dlt_sim::time::SimTime;
+//!
+//! struct Echo;
+//! impl SimNode<String> for Echo {
+//!     fn on_message(&mut self, ctx: &mut Context<'_, String>, from: NodeId, msg: String) {
+//!         if msg == "ping" {
+//!             ctx.send(from, "pong".to_string());
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(42, LatencyModel::Fixed(SimTime::from_millis(10)));
+//! let a = sim.add_node(Box::new(Echo));
+//! let b = sim.add_node(Box::new(Echo));
+//! sim.send_external(a, b, "ping".to_string());
+//! sim.run_until_idle(SimTime::from_secs(1));
+//! assert!(sim.now() >= SimTime::from_millis(20)); // ping + pong
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod latency;
+pub mod metrics;
+pub mod network;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Context, SimNode, Simulation};
+pub use network::NodeId;
+pub use time::SimTime;

@@ -1,0 +1,235 @@
+//! Counters and sample series for experiment output.
+//!
+//! Every experiment boils down to counting events (blocks mined, forks
+//! observed, transactions confirmed) and summarising sample series
+//! (confirmation latency, block interval). [`Metrics`] collects both,
+//! keyed by name, and renders summary statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named collection of counters and sample series.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl Metrics {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increments the named counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Reads a counter (zero when never touched).
+    pub fn count(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Appends a sample to the named series.
+    pub fn record(&mut self, name: &str, value: f64) {
+        self.series.entry(name.to_string()).or_default().push(value);
+    }
+
+    /// The raw samples of a series (empty when never recorded).
+    pub fn samples(&self, name: &str) -> &[f64] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of samples in a series.
+    pub fn len(&self, name: &str) -> usize {
+        self.samples(name).len()
+    }
+
+    /// Whether nothing at all has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.series.is_empty()
+    }
+
+    /// Mean of a series, or `None` if empty.
+    pub fn mean(&self, name: &str) -> Option<f64> {
+        let samples = self.samples(name);
+        if samples.is_empty() {
+            return None;
+        }
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+
+    /// Population standard deviation of a series, or `None` if empty.
+    pub fn std_dev(&self, name: &str) -> Option<f64> {
+        let samples = self.samples(name);
+        let mean = self.mean(name)?;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of a series by nearest-rank, or
+    /// `None` if the series is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, name: &str, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let samples = self.samples(name);
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Minimum of a series.
+    pub fn min(&self, name: &str) -> Option<f64> {
+        self.samples(name).iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum of a series.
+    pub fn max(&self, name: &str) -> Option<f64> {
+        self.samples(name).iter().copied().reduce(f64::max)
+    }
+
+    /// Sum of a series.
+    pub fn sum(&self, name: &str) -> f64 {
+        self.samples(name).iter().sum()
+    }
+
+    /// Merges another collection into this one (series are
+    /// concatenated, counters added). Useful when aggregating per-node
+    /// metrics.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, n) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += n;
+        }
+        for (name, samples) in &other.series {
+            self.series
+                .entry(name.clone())
+                .or_default()
+                .extend_from_slice(samples);
+        }
+    }
+
+    /// All counter names in sorted order.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// All series names in sorted order.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in &self.counters {
+            writeln!(f, "{name}: {value}")?;
+        }
+        for name in self.series.keys() {
+            let mean = self.mean(name).unwrap_or(0.0);
+            let p50 = self.percentile(name, 0.5).unwrap_or(0.0);
+            let p99 = self.percentile(name, 0.99).unwrap_or(0.0);
+            writeln!(
+                f,
+                "{name}: n={} mean={mean:.3} p50={p50:.3} p99={p99:.3}",
+                self.len(name)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        assert_eq!(m.count("blocks"), 0);
+        m.inc("blocks");
+        m.inc("blocks");
+        m.add("blocks", 3);
+        assert_eq!(m.count("blocks"), 5);
+    }
+
+    #[test]
+    fn series_statistics() {
+        let mut m = Metrics::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            m.record("latency", v);
+        }
+        assert_eq!(m.len("latency"), 5);
+        assert_eq!(m.mean("latency"), Some(3.0));
+        assert_eq!(m.min("latency"), Some(1.0));
+        assert_eq!(m.max("latency"), Some(5.0));
+        assert_eq!(m.sum("latency"), 15.0);
+        assert_eq!(m.percentile("latency", 0.5), Some(3.0));
+        assert_eq!(m.percentile("latency", 0.0), Some(1.0));
+        assert_eq!(m.percentile("latency", 1.0), Some(5.0));
+        let sd = m.std_dev("latency").unwrap();
+        assert!((sd - 1.4142).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_series_yield_none() {
+        let m = Metrics::new();
+        assert_eq!(m.mean("nothing"), None);
+        assert_eq!(m.percentile("nothing", 0.5), None);
+        assert_eq!(m.min("nothing"), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let mut m = Metrics::new();
+        for v in [9.0, 1.0, 5.0, 3.0, 7.0] {
+            m.record("x", v);
+        }
+        assert_eq!(m.percentile("x", 0.5), Some(5.0));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Metrics::new();
+        a.inc("n");
+        a.record("s", 1.0);
+        let mut b = Metrics::new();
+        b.add("n", 4);
+        b.record("s", 3.0);
+        a.merge(&b);
+        assert_eq!(a.count("n"), 5);
+        assert_eq!(a.len("s"), 2);
+        assert_eq!(a.mean("s"), Some(2.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut m = Metrics::new();
+        m.inc("events");
+        m.record("lat", 2.5);
+        let text = m.to_string();
+        assert!(text.contains("events: 1"));
+        assert!(text.contains("lat:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn percentile_validates_q() {
+        let mut m = Metrics::new();
+        m.record("x", 1.0);
+        let _ = m.percentile("x", 1.5);
+    }
+}

@@ -1,0 +1,289 @@
+//! The simulated message fabric: topology, loss, duplication and
+//! partitions.
+//!
+//! The engine asks the [`Network`] how a send from `a` to `b` behaves:
+//! which deliveries happen (possibly none when dropped, possibly two
+//! when duplicated) and after what delay. Partitions model the
+//! soft-fork conditions of paper §IV-A, where parts of the network
+//! build on different blocks.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::latency::LatencyModel;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Identifier of a simulated node (its index in the simulation).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Network configuration and fault state.
+#[derive(Debug, Clone)]
+pub struct Network {
+    latency: LatencyModel,
+    drop_probability: f64,
+    duplicate_probability: f64,
+    /// Explicit adjacency lists; `None` means a full mesh.
+    topology: Option<Vec<Vec<NodeId>>>,
+    /// Partition group per node; nodes in different groups can't talk.
+    /// Empty when the network is whole.
+    groups: Vec<usize>,
+}
+
+impl Network {
+    /// Creates a fault-free full-mesh network with the given latency.
+    pub fn new(latency: LatencyModel) -> Self {
+        Network {
+            latency,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            topology: None,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Sets the probability that any message is silently dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_drop_probability(&mut self, p: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_probability = p;
+        self
+    }
+
+    /// Sets the probability that a delivered message arrives twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_duplicate_probability(&mut self, p: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Replaces the latency model.
+    pub fn set_latency(&mut self, latency: LatencyModel) -> &mut Self {
+        self.latency = latency;
+        self
+    }
+
+    /// The current latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Installs an explicit topology: `topology[i]` lists the peers of
+    /// node `i`. Without this, the network is a full mesh.
+    pub fn set_topology(&mut self, topology: Vec<Vec<NodeId>>) -> &mut Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Splits the network into disjoint partitions. Nodes absent from
+    /// every listed group land in an implicit extra group together.
+    pub fn partition(&mut self, node_count: usize, parts: &[&[NodeId]]) -> &mut Self {
+        let mut groups = vec![usize::MAX; node_count];
+        for (g, part) in parts.iter().enumerate() {
+            for node in *part {
+                groups[node.0] = g;
+            }
+        }
+        let spare = parts.len();
+        for g in groups.iter_mut() {
+            if *g == usize::MAX {
+                *g = spare;
+            }
+        }
+        self.groups = groups;
+        self
+    }
+
+    /// Removes any partition, making the network whole again.
+    pub fn heal(&mut self) -> &mut Self {
+        self.groups.clear();
+        self
+    }
+
+    /// Whether a message from `from` can currently reach `to`.
+    pub fn can_reach(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return false;
+        }
+        if !self.groups.is_empty() {
+            let (Some(&ga), Some(&gb)) = (self.groups.get(from.0), self.groups.get(to.0)) else {
+                return false;
+            };
+            if ga != gb {
+                return false;
+            }
+        }
+        match &self.topology {
+            None => true,
+            Some(adj) => adj
+                .get(from.0)
+                .is_some_and(|peers| peers.contains(&to)),
+        }
+    }
+
+    /// The peers `from` would address with a broadcast.
+    pub fn peers_of(&self, from: NodeId, node_count: usize) -> Vec<NodeId> {
+        match &self.topology {
+            Some(adj) => adj.get(from.0).cloned().unwrap_or_default(),
+            None => (0..node_count)
+                .map(NodeId)
+                .filter(|&n| n != from)
+                .collect(),
+        }
+    }
+
+    /// Decides the fate of one message: a (possibly empty) list of
+    /// delivery delays.
+    pub fn deliveries(&self, from: NodeId, to: NodeId, rng: &mut SimRng) -> Vec<SimTime> {
+        if !self.can_reach(from, to) {
+            return Vec::new();
+        }
+        if rng.chance(self.drop_probability) {
+            return Vec::new();
+        }
+        let mut out = vec![self.latency.sample(rng)];
+        if rng.chance(self.duplicate_probability) {
+            out.push(self.latency.sample(rng));
+        }
+        out
+    }
+
+    /// The set of partition groups currently in force (for assertions in
+    /// tests); empty when the network is whole.
+    pub fn partition_groups(&self) -> Vec<HashSet<NodeId>> {
+        if self.groups.is_empty() {
+            return Vec::new();
+        }
+        let max_group = self.groups.iter().copied().max().unwrap_or(0);
+        let mut out = vec![HashSet::new(); max_group + 1];
+        for (i, &g) in self.groups.iter().enumerate() {
+            out[g].insert(NodeId(i));
+        }
+        out.retain(|set| !set.is_empty());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(LatencyModel::Fixed(SimTime::from_millis(10)))
+    }
+
+    #[test]
+    fn full_mesh_reaches_everyone_but_self() {
+        let n = net();
+        assert!(n.can_reach(NodeId(0), NodeId(1)));
+        assert!(n.can_reach(NodeId(5), NodeId(0)));
+        assert!(!n.can_reach(NodeId(3), NodeId(3)));
+        assert_eq!(
+            n.peers_of(NodeId(1), 4),
+            vec![NodeId(0), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn explicit_topology_restricts_reachability() {
+        let mut n = net();
+        n.set_topology(vec![
+            vec![NodeId(1)],          // 0 -> 1
+            vec![NodeId(0), NodeId(2)], // 1 -> 0, 2
+            vec![],                   // 2 -> nobody
+        ]);
+        assert!(n.can_reach(NodeId(0), NodeId(1)));
+        assert!(!n.can_reach(NodeId(0), NodeId(2)));
+        assert!(n.can_reach(NodeId(1), NodeId(2)));
+        assert!(!n.can_reach(NodeId(2), NodeId(0)));
+        assert_eq!(n.peers_of(NodeId(2), 3), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut n = net();
+        n.partition(4, &[&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]]);
+        assert!(n.can_reach(NodeId(0), NodeId(1)));
+        assert!(n.can_reach(NodeId(2), NodeId(3)));
+        assert!(!n.can_reach(NodeId(0), NodeId(2)));
+        assert!(!n.can_reach(NodeId(3), NodeId(1)));
+        assert_eq!(n.partition_groups().len(), 2);
+        n.heal();
+        assert!(n.can_reach(NodeId(0), NodeId(2)));
+        assert!(n.partition_groups().is_empty());
+    }
+
+    #[test]
+    fn unlisted_nodes_form_spare_group() {
+        let mut n = net();
+        n.partition(4, &[&[NodeId(0)]]);
+        // 1, 2, 3 share the spare group.
+        assert!(n.can_reach(NodeId(1), NodeId(2)));
+        assert!(!n.can_reach(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn drop_probability_drops_everything_at_one() {
+        let mut n = net();
+        n.set_drop_probability(1.0);
+        let mut rng = SimRng::new(1);
+        for _ in 0..50 {
+            assert!(n.deliveries(NodeId(0), NodeId(1), &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn no_faults_delivers_exactly_once() {
+        let n = net();
+        let mut rng = SimRng::new(2);
+        for _ in 0..50 {
+            let d = n.deliveries(NodeId(0), NodeId(1), &mut rng);
+            assert_eq!(d, vec![SimTime::from_millis(10)]);
+        }
+    }
+
+    #[test]
+    fn duplication_sometimes_delivers_twice() {
+        let mut n = net();
+        n.set_duplicate_probability(0.5);
+        let mut rng = SimRng::new(3);
+        let twos = (0..1000)
+            .filter(|_| n.deliveries(NodeId(0), NodeId(1), &mut rng).len() == 2)
+            .count();
+        assert!((300..700).contains(&twos), "dup count {twos}");
+    }
+
+    #[test]
+    fn partial_drop_rate_is_statistical() {
+        let mut n = net();
+        n.set_drop_probability(0.3);
+        let mut rng = SimRng::new(4);
+        let dropped = (0..10_000)
+            .filter(|_| n.deliveries(NodeId(0), NodeId(1), &mut rng).is_empty())
+            .count();
+        assert!((2500..3500).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn drop_probability_validated() {
+        net().set_drop_probability(1.5);
+    }
+}

@@ -1,0 +1,342 @@
+//! Deterministic randomness and the samplers the experiments use.
+//!
+//! All simulation randomness flows from one seeded [`SimRng`], so any
+//! run is reproducible from its seed. On top of the uniform source,
+//! this module provides the distributions the ledger experiments need:
+//!
+//! * [`SimRng::exponential`] — inter-block times of Poisson mining
+//!   (the statistically exact model of constant-hash-rate PoW).
+//! * [`SimRng::log_normal`] — long-tailed network latencies.
+//! * [`SimRng::poisson`] — arrival counts per interval for workload
+//!   generators.
+//! * [`SimRng::zipf`] — skewed account popularity (a few hot accounts
+//!   send most transactions, as on real ledgers).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded deterministic random source.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Splits off an independent child RNG (used to give each node its
+    /// own stream so node-local randomness doesn't depend on event
+    /// interleaving).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.gen())
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Fills a byte buffer (e.g. key seeds).
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+
+    /// A fresh 32-byte seed.
+    pub fn seed32(&mut self) -> [u8; 32] {
+        let mut seed = [0u8; 32];
+        self.fill(&mut seed);
+        seed
+    }
+
+    /// Samples an exponential distribution with the given mean via
+    /// inverse-CDF. The exponential is the exact distribution of
+    /// inter-block times for a memoryless (Poisson) mining process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        let u: f64 = self.unit();
+        // 1 - u ∈ (0, 1], so ln is finite and non-positive.
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Samples a standard normal via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0).
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples a log-normal distribution parameterised by its *median*
+    /// and the log-space standard deviation `sigma`. Long-tailed WAN
+    /// latencies are conventionally modelled this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median` is not positive and finite or `sigma` is
+    /// negative.
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        assert!(median.is_finite() && median > 0.0, "median must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        median * (sigma * self.standard_normal()).exp()
+    }
+
+    /// Samples a Poisson-distributed count with the given rate `lambda`
+    /// (Knuth's algorithm; adequate for the λ ≲ 1e4 the workloads use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be >= 0");
+        if lambda == 0.0 {
+            return 0;
+        }
+        // For large lambda use a normal approximation to avoid O(λ)
+        // iterations.
+        if lambda > 1000.0 {
+            let sample = lambda + lambda.sqrt() * self.standard_normal();
+            return sample.max(0.0).round() as u64;
+        }
+        let threshold = (-lambda).exp();
+        let mut count = 0u64;
+        let mut product = self.unit();
+        while product > threshold {
+            count += 1;
+            product *= self.unit();
+        }
+        count
+    }
+
+    /// Samples an index in `[0, n)` from a Zipf distribution with
+    /// exponent `s` (by inverse-CDF over precomputed weights this would
+    /// be faster; the rejection-free cumulative scan here is fine for
+    /// the n ≤ 10⁴ the workloads use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf over empty domain");
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut u = self.unit() * norm;
+        for k in 1..=n {
+            u -= 1.0 / (k as f64).powf(s);
+            if u <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Chooses one element of a weighted set; returns its index.
+    /// Weights must be non-negative and not all zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_choice(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted choice over empty set");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights sum to zero");
+        let mut u = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_but_deterministic() {
+        let mut parent1 = SimRng::new(5);
+        let mut parent2 = SimRng::new(5);
+        let mut child1 = parent1.fork();
+        let mut child2 = parent2.fork();
+        assert_eq!(child1.next_u64(), child2.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::new(11);
+        let n = 20_000;
+        let mean = 600.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < mean * 0.05,
+            "sample mean {sample_mean}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = SimRng::new(12);
+        assert!((0..1000).all(|_| rng.exponential(1.0) >= 0.0));
+    }
+
+    #[test]
+    fn log_normal_median_converges() {
+        let mut rng = SimRng::new(13);
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.log_normal(100.0, 0.5)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 100.0).abs() < 5.0, "median {median}");
+    }
+
+    #[test]
+    fn poisson_mean_converges() {
+        let mut rng = SimRng::new(14);
+        for lambda in [0.5, 5.0, 50.0, 5000.0] {
+            let n = 5000;
+            let sum: u64 = (0..n).map(|_| rng.poisson(lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indices() {
+        let mut rng = SimRng::new(15);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.zipf(10, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "counts {counts:?}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = SimRng::new(16);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_choice(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5, "counts {counts:?}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(17);
+        assert!((0..100).all(|_| !rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.1)));
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = SimRng::new(18);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn below_and_range_bounds() {
+        let mut rng = SimRng::new(19);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+            let v = rng.range(3, 9);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::new(20);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,63 @@
+//! A coffee shop accepts micropayments through a payment channel
+//! (paper §VI-A: Lightning/Raiden).
+//!
+//! Paying 3 units for every coffee on-chain would cost a fee and wait
+//! out the block interval each time — and a 7 TPS base layer cannot
+//! serve every coffee machine on the planet. A channel locks a prepaid
+//! balance once, streams co-signed updates per coffee, and settles the
+//! net result on chain at the end of the month.
+//!
+//! Run with `cargo run -p dlt-examples --bin coffee_shop_channels`.
+
+use dlt_core::throughput::bitcoin_tps_range;
+use dlt_scaling::channels::{ChannelNetwork, ChannelPair};
+
+fn main() {
+    let mut network = ChannelNetwork::new();
+
+    // The customer prepays 300 into a channel with the shop.
+    let mut channel = ChannelPair::open(&mut network, 2026, 300, 0);
+    println!(
+        "channel open: customer {} locked 300; on-chain txs so far: {}",
+        channel.party_a(),
+        network.total_onchain_txs
+    );
+
+    // A month of coffee: 90 cups at 3 units each, instantly and
+    // fee-free, co-signed off-chain.
+    for cup in 1..=90u32 {
+        let update = channel.pay_a_to_b(3).expect("prepaid balance covers it");
+        network.apply_update(&update).expect("both signatures valid");
+        if cup % 30 == 0 {
+            let state = network.channel(channel.id).expect("open");
+            println!(
+                "after {cup} coffees: customer {} / shop {} (update #{})",
+                state.balance_a, state.balance_b, state.seq
+            );
+        }
+    }
+
+    // Cooperative close records only the final balances on chain.
+    let settlement = network.close_cooperative(channel.id).expect("open channel");
+    println!(
+        "\nchannel closed: customer takes {}, shop takes {}",
+        settlement.payout_a.1, settlement.payout_b.1
+    );
+    println!(
+        "90 payments consumed {} on-chain transactions (open + close) and {} \
+         off-chain updates",
+        settlement.onchain_txs, network.total_updates
+    );
+
+    let (_, base_tps) = bitcoin_tps_range();
+    println!(
+        "\nscaling arithmetic (§VI-A): a {base_tps:.0}-TPS base layer running \
+         nothing but 90-payment channels carries {:.0} payments/s — channels \
+         multiply throughput by the channel lifetime volume / 2.",
+        base_tps * 90.0 / 2.0
+    );
+
+    // What if the shop tries to cheat at settlement time? See the e12
+    // experiment and the `challenge` API: posting a stale state forfeits
+    // the cheater's entire balance.
+}

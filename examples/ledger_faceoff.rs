@@ -1,0 +1,89 @@
+//! The paper's comparison as one program: an identical payment
+//! workload on all three ledgers, through the unified
+//! `DistributedLedger` API.
+//!
+//! Run with `cargo run -p dlt-examples --bin ledger_faceoff`.
+
+use dlt_blockchain::bitcoin::BitcoinParams;
+use dlt_blockchain::ethereum::EthereumParams;
+use dlt_core::ledger::{
+    run_workload, BitcoinAdapter, EthereumAdapter, NanoAdapter, WorkloadConfig,
+};
+use dlt_dag::lattice::LatticeParams;
+use dlt_sim::time::SimTime;
+
+fn main() {
+    // A modest everyone-pays-everyone workload at a compressed
+    // timescale (block intervals ÷60 so the run finishes in seconds).
+    let config = WorkloadConfig {
+        offered_tps: 4.0,
+        duration: SimTime::from_secs(90),
+        drain: SimTime::from_secs(90),
+        amount: 7,
+        seed: 2018, // the paper's year
+    };
+
+    let mut bitcoin = BitcoinAdapter::new(
+        BitcoinParams {
+            max_block_bytes: 16_000, // 1 MB scaled by the same ÷60
+            ..BitcoinParams::default()
+        },
+        SimTime::from_secs(10),
+        6,
+        80,
+        10_000,
+        1,
+    );
+    let mut ethereum = EthereumAdapter::new(
+        EthereumParams::default(),
+        SimTime::from_secs(1),
+        6,
+        100_000_000,
+        10,
+        1,
+    );
+    let mut nano = NanoAdapter::new(
+        LatticeParams {
+            work_difficulty_bits: 2,
+            ..LatticeParams::default()
+        },
+        6,
+        100_000_000,
+        10,
+        SimTime::from_millis(150),
+        SimTime::from_millis(250),
+        1,
+    );
+
+    println!("identical workload: {} TPS offered for 90 s, then 90 s drain\n", config.offered_tps);
+    println!(
+        "{:<14} {:>9} {:>10} {:>8} {:>12} {:>10} {:>8}",
+        "ledger", "confirmed", "TPS", "backlog", "ledger bytes", "bytes/tx", "blocks"
+    );
+    for report in [
+        run_workload(&mut bitcoin, &config),
+        run_workload(&mut ethereum, &config),
+        run_workload(&mut nano, &config),
+    ] {
+        println!(
+            "{:<14} {:>9} {:>10.2} {:>8} {:>12} {:>10.0} {:>8}",
+            report.ledger,
+            report.confirmed,
+            report.confirmed_tps,
+            report.backlog,
+            report.ledger_bytes,
+            report.bytes_per_tx,
+            report.blocks
+        );
+    }
+
+    println!(
+        "\nwhat to notice (the paper's conclusions, §VII):\n\
+         - the blockchains bundle many transfers per block; the DAG writes two\n\
+           small blocks per transfer on the participants' own chains;\n\
+         - bitcoin-like throughput is capped by block size × interval; the\n\
+           nano-like ledger absorbs the full offered load;\n\
+         - every ledger's size grows linearly — pruning (experiment e08) is\n\
+           how all of them cope."
+    );
+}

