@@ -1,75 +1,76 @@
-//! Criterion benches for the cryptographic primitives.
+//! Micro-benchmarks for the cryptographic primitives, on the in-repo
+//! `dlt_testkit::bench` harness (`cargo bench --bench crypto`).
+//! Results print to stderr and land in `results/bench_crypto.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
 use dlt_crypto::keys::Keypair;
 use dlt_crypto::merkle::{merkle_root, MerkleTree};
 use dlt_crypto::sha256::sha256;
 use dlt_crypto::trie::TrieDb;
 use dlt_crypto::wots::WotsKeypair;
+use dlt_testkit::bench::BenchSuite;
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn bench_sha256(suite: &mut BenchSuite) {
     for size in [64usize, 1024, 65_536] {
         let data = vec![0xabu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(std::hint::black_box(&data))));
+        suite
+            .throughput_bytes(size as u64)
+            .bench(&format!("sha256/{size}B"), || sha256(black_box(&data)));
     }
-    group.finish();
 }
 
-fn bench_merkle(c: &mut Criterion) {
+fn bench_merkle(suite: &mut BenchSuite) {
     let leaves: Vec<_> = (0..1024u64).map(|i| sha256(&i.to_be_bytes())).collect();
-    c.bench_function("merkle_root_1024", |b| {
-        b.iter(|| merkle_root(std::hint::black_box(&leaves)))
-    });
+    suite.bench("merkle_root_1024", || merkle_root(black_box(&leaves)));
     let tree = MerkleTree::from_leaves(leaves.clone());
-    c.bench_function("merkle_prove_verify", |b| {
-        b.iter(|| {
-            let proof = tree.prove(777).unwrap();
-            assert!(proof.verify(&tree.root(), &leaves[777]));
-        })
+    suite.bench("merkle_prove_verify", || {
+        let proof = tree.prove(777).unwrap();
+        assert!(proof.verify(&tree.root(), &leaves[777]));
     });
 }
 
-fn bench_trie(c: &mut Criterion) {
-    c.bench_function("trie_insert_1000", |b| {
-        b.iter(|| {
-            let mut db = TrieDb::new();
-            let mut root = TrieDb::EMPTY_ROOT;
-            for i in 0..1000u64 {
-                root = db.insert(root, &i.to_be_bytes(), i.to_le_bytes().to_vec());
-            }
-            root
-        })
+fn bench_trie(suite: &mut BenchSuite) {
+    suite.bench("trie_insert_1000", || {
+        let mut db = TrieDb::new();
+        let mut root = TrieDb::EMPTY_ROOT;
+        for i in 0..1000u64 {
+            root = db.insert(root, &i.to_be_bytes(), i.to_le_bytes().to_vec());
+        }
+        root
     });
     let mut db = TrieDb::new();
     let mut root = TrieDb::EMPTY_ROOT;
     for i in 0..10_000u64 {
         root = db.insert(root, &i.to_be_bytes(), i.to_le_bytes().to_vec());
     }
-    c.bench_function("trie_get_in_10k", |b| {
-        b.iter(|| db.get(root, std::hint::black_box(&7_777u64.to_be_bytes())))
+    suite.bench("trie_get_in_10k", || {
+        db.get(root, black_box(&7_777u64.to_be_bytes()))
     });
 }
 
-fn bench_signatures(c: &mut Criterion) {
+fn bench_signatures(suite: &mut BenchSuite) {
     let msg = sha256(b"benchmark message");
     let wots = WotsKeypair::from_seed([1u8; 32]);
     let sig = wots.sign(&msg);
-    c.bench_function("wots_sign", |b| b.iter(|| wots.sign(std::hint::black_box(&msg))));
-    c.bench_function("wots_verify", |b| {
-        b.iter(|| assert!(sig.verify(&msg, &wots.public_digest())))
+    suite.bench("wots_sign", || wots.sign(black_box(&msg)));
+    suite.bench("wots_verify", || {
+        assert!(sig.verify(&msg, &wots.public_digest()));
     });
-    c.bench_function("mss_keygen_h6", |b| {
-        b.iter(|| Keypair::mss_from_seed(std::hint::black_box([2u8; 32]), 6))
+    suite.bench("mss_keygen_h6", || {
+        Keypair::mss_from_seed(black_box([2u8; 32]), 6)
     });
     let mut mss = Keypair::mss_from_seed([3u8; 32], 10);
     let public = mss.public_key();
     let mss_sig = mss.sign(&msg).unwrap();
-    c.bench_function("mss_verify", |b| {
-        b.iter(|| assert!(mss_sig.verify(&msg, &public)))
-    });
+    suite.bench("mss_verify", || assert!(mss_sig.verify(&msg, &public)));
 }
 
-criterion_group!(benches, bench_sha256, bench_merkle, bench_trie, bench_signatures);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::new("crypto");
+    bench_sha256(&mut suite);
+    bench_merkle(&mut suite);
+    bench_trie(&mut suite);
+    bench_signatures(&mut suite);
+    suite.finish();
+}

@@ -5,7 +5,7 @@
 //! over transactions, Ethereum's state/receipts roots) and demonstrates
 //! that tampering with any transaction is detected by the commitments.
 
-use dlt_bench::{banner, Table};
+use dlt_bench::{banner, section, Table};
 use dlt_blockchain::account::AccountHolder;
 use dlt_blockchain::bitcoin::{BitcoinChain, BitcoinParams};
 use dlt_blockchain::block::LedgerTx;
@@ -14,7 +14,7 @@ use dlt_blockchain::utxo::Wallet;
 use dlt_crypto::keys::Address;
 
 fn main() {
-    banner("e01", "ledger data structures: blockchain", "§II-A, Fig. 1");
+    let _report = banner("e01", "ledger data structures: blockchain", "§II-A, Fig. 1");
 
     // --- Bitcoin-like: blocks of UTXO transactions, Merkle-hashed. ---
     let mut wallet = Wallet::new(1);
@@ -29,7 +29,14 @@ fn main() {
         btc.mine_block(miner, height * 600_000_000);
     }
 
-    let mut table = Table::new(["height", "block id", "parent", "merkle root", "txs", "bytes"]);
+    let mut table = Table::new([
+        "height",
+        "block id",
+        "parent",
+        "merkle root",
+        "txs",
+        "bytes",
+    ]);
     for id in btc.chain().active_chain() {
         let block = btc.chain().block(id).expect("active");
         table.row([
@@ -49,9 +56,9 @@ fn main() {
 
     // Linkage check: every parent field matches the predecessor's id.
     let chain_ids = btc.chain().active_chain();
-    let linked = chain_ids.windows(2).all(|pair| {
-        btc.chain().header(&pair[1]).expect("stored").parent == pair[0]
-    });
+    let linked = chain_ids
+        .windows(2)
+        .all(|pair| btc.chain().header(&pair[1]).expect("stored").parent == pair[0]);
     println!("hash linkage intact: {linked}");
 
     // Tamper detection via the Merkle root.
@@ -67,7 +74,7 @@ fn main() {
     assert!(!tampered.merkle_root_valid());
 
     // --- Ethereum-like: accounts, state roots, receipts roots. ---
-    banner("e01", "ledger data structures: state-committed chain", "§II-A, §V-A");
+    section("state-committed chain (Ethereum-like), §II-A, §V-A");
     let mut alice = AccountHolder::from_seed([7u8; 32], 5);
     let mut eth = EthereumChain::new(EthereumParams::default(), &[(alice.address(), 1_000_000)]);
     let validator = Address::from_label("validator");
@@ -75,7 +82,13 @@ fn main() {
         eth.submit_tx(alice.transfer(Address::from_label("bob"), 100, 1));
         eth.produce_block(validator, slot * 15_000_000);
     }
-    let mut table = Table::new(["height", "block id", "state root", "receipts root", "gas used"]);
+    let mut table = Table::new([
+        "height",
+        "block id",
+        "state root",
+        "receipts root",
+        "gas used",
+    ]);
     for id in eth.chain().active_chain() {
         let block = eth.chain().block(id).expect("active");
         table.row([

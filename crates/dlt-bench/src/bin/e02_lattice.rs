@@ -10,7 +10,7 @@ use dlt_dag::block::BlockKind;
 use dlt_dag::lattice::{Lattice, LatticeParams};
 
 fn main() {
-    banner("e02", "the block-lattice", "§II-B, Fig. 2");
+    let _report = banner("e02", "the block-lattice", "§II-B, Fig. 2");
     let params = LatticeParams {
         work_difficulty_bits: 4,
         verify_signatures: true,

@@ -9,7 +9,11 @@ use dlt_dag::account::NanoAccount;
 use dlt_dag::lattice::{Lattice, LatticeParams};
 
 fn main() {
-    banner("e03", "transaction settlement in the block lattice", "§II-B, Fig. 3");
+    let _report = banner(
+        "e03",
+        "transaction settlement in the block lattice",
+        "§II-B, Fig. 3",
+    );
     let params = LatticeParams {
         work_difficulty_bits: 4,
         verify_signatures: true,
@@ -20,7 +24,14 @@ fn main() {
     let mut online = NanoAccount::from_seed([2u8; 32], 6, 4);
     let offline = NanoAccount::from_seed([3u8; 32], 6, 4);
 
-    let mut table = Table::new(["step", "event", "sender bal", "recipient bal", "pending", "settled?"]);
+    let mut table = Table::new([
+        "step",
+        "event",
+        "sender bal",
+        "recipient bal",
+        "pending",
+        "settled?",
+    ]);
 
     // S: send to the online recipient.
     let send1 = genesis.send(online.address(), 300).expect("funded");

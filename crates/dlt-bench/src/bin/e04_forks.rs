@@ -9,9 +9,9 @@
 
 use dlt_bench::{banner, Table};
 use dlt_blockchain::block::Block;
-use dlt_blockchain::utxo::UtxoTx;
 use dlt_blockchain::difficulty::RetargetParams;
 use dlt_blockchain::node::{MinerConfig, MinerNode, NetMsg};
+use dlt_blockchain::utxo::UtxoTx;
 use dlt_crypto::keys::Address;
 use dlt_sim::engine::Simulation;
 use dlt_sim::latency::LatencyModel;
@@ -19,7 +19,7 @@ use dlt_sim::network::NodeId;
 use dlt_sim::time::SimTime;
 
 fn main() {
-    banner("e04", "soft forks vs network delay", "§IV-A, Fig. 4");
+    let _report = banner("e04", "soft forks vs network delay", "§IV-A, Fig. 4");
     // Compressed timescale: 10 s target interval (instead of 600 s);
     // the dimensionless knob is latency / interval.
     let interval_secs = 10.0;

@@ -10,7 +10,7 @@ use dlt_core::confidence::{confidence_table, depth_for_risk, revert_probability,
 use dlt_sim::rng::SimRng;
 
 fn main() {
-    banner("e05", "confirmation confidence", "§IV-A");
+    let _report = banner("e05", "confirmation confidence", "§IV-A");
     let shares = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45];
 
     println!("\nrevert probability vs attacker share and depth (analytic vs Monte-Carlo):");

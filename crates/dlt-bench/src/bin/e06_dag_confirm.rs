@@ -32,10 +32,7 @@ fn build(
     seed: u64,
     latency_ms: u64,
     shares: &[u64],
-) -> (
-    Simulation<DagMsg, DagNode>,
-    Vec<NanoAccount>,
-) {
+) -> (Simulation<DagMsg, DagNode>, Vec<NanoAccount>) {
     let supply = 1_000_000u64;
     let mut genesis = NanoAccount::from_seed([9u8; 32], 8, BITS);
     let genesis_block = genesis.genesis_block(supply);
@@ -76,7 +73,11 @@ fn build(
 }
 
 fn main() {
-    banner("e06", "DAG confirmation by weighted representative vote", "§III-B, §IV-B");
+    let _report = banner(
+        "e06",
+        "DAG confirmation by weighted representative vote",
+        "§III-B, §IV-B",
+    );
 
     // Part 1: confirmation latency of ordinary transfers vs link latency.
     println!("\nconfirmation latency of a non-conflicting send:");
@@ -91,8 +92,14 @@ fn main() {
             sim.deliver_at(at, NodeId(i % 5), NodeId(i % 5), DagMsg::Publish(send));
         }
         sim.run_until_idle(SimTime::from_secs(60));
-        let p50 = sim.metrics().percentile("dag.confirm_latency_ms", 0.5).unwrap_or(0.0);
-        let p99 = sim.metrics().percentile("dag.confirm_latency_ms", 0.99).unwrap_or(0.0);
+        let p50 = sim
+            .metrics()
+            .percentile("dag.confirm_latency_ms", 0.5)
+            .unwrap_or(0.0);
+        let p99 = sim
+            .metrics()
+            .percentile("dag.confirm_latency_ms", 0.99)
+            .unwrap_or(0.0);
         table.row([
             format!("{latency_ms} ms"),
             format!("{p50:.1} ms"),
@@ -127,7 +134,12 @@ fn main() {
             .send(Address::from_label("laundry"), 50)
             .expect("funded");
         let (a_hash, b_hash) = (a.hash(), b.hash());
-        sim.deliver_at(SimTime::from_millis(1), NodeId(0), NodeId(0), DagMsg::Publish(a));
+        sim.deliver_at(
+            SimTime::from_millis(1),
+            NodeId(0),
+            NodeId(0),
+            DagMsg::Publish(a),
+        );
         sim.deliver_at(
             SimTime::from_millis(1),
             NodeId(n - 1),

@@ -7,7 +7,7 @@
 //! each network's real age and traffic; the reproducible content is the
 //! per-transaction footprint and the growth mechanism.
 
-use dlt_bench::{banner, human_bytes, Table};
+use dlt_bench::{banner, human_bytes, smoke, Table};
 use dlt_blockchain::bitcoin::BitcoinParams;
 use dlt_blockchain::ethereum::EthereumParams;
 use dlt_core::ledger::{
@@ -18,12 +18,15 @@ use dlt_dag::lattice::LatticeParams;
 use dlt_sim::time::SimTime;
 
 fn main() {
-    banner("e07", "ledger size growth", "§V");
+    let _report = banner("e07", "ledger size growth", "§V");
 
+    // DLT_SMOKE quarters the workload; per-tx byte costs are identical,
+    // only the linear-growth fit gets fewer points.
+    let secs = if smoke() { 30 } else { 120 };
     let config = WorkloadConfig {
         offered_tps: 2.0,
-        duration: SimTime::from_secs(120),
-        drain: SimTime::from_secs(120),
+        duration: SimTime::from_secs(secs),
+        drain: SimTime::from_secs(secs),
         amount: 5,
         seed: 7,
     };
@@ -64,7 +67,10 @@ fn main() {
         run_workload(&mut nano, &config),
     ];
 
-    println!("\nidentical workload ({} tps offered, {}s):", config.offered_tps, 120);
+    println!(
+        "\nidentical workload ({} tps offered, {secs}s):",
+        config.offered_tps
+    );
     let mut table = Table::new([
         "ledger",
         "confirmed txs",
@@ -84,8 +90,17 @@ fn main() {
     table.print();
 
     println!("\nprojection: one year at each system's §VI throughput:");
-    let mut table = Table::new(["ledger", "assumed TPS", "bytes/tx (measured)", "1-year growth"]);
-    let tps = [("bitcoin-like", 4.0), ("ethereum-like", 12.0), ("nano-like", 105.75)];
+    let mut table = Table::new([
+        "ledger",
+        "assumed TPS",
+        "bytes/tx (measured)",
+        "1-year growth",
+    ]);
+    let tps = [
+        ("bitcoin-like", 4.0),
+        ("ethereum-like", 12.0),
+        ("nano-like", 105.75),
+    ];
     for (r, (name, rate)) in reports.iter().zip(tps) {
         table.row([
             name.to_string(),
@@ -98,7 +113,7 @@ fn main() {
 
     // Growth is linear: fit a model from two run lengths and verify.
     let short_cfg = WorkloadConfig {
-        duration: SimTime::from_secs(60),
+        duration: SimTime::from_secs(secs / 2),
         ..config
     };
     let mut nano2 = NanoAdapter::new(

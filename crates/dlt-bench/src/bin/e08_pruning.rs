@@ -8,9 +8,7 @@ use dlt_bench::{banner, human_bytes, Table};
 use dlt_blockchain::account::AccountHolder;
 use dlt_blockchain::bitcoin::{BitcoinChain, BitcoinParams};
 use dlt_blockchain::ethereum::{EthereumChain, EthereumParams};
-use dlt_blockchain::prune::{
-    bitcoin_archival_size, bitcoin_pruned_size, ethereum_archival_size,
-};
+use dlt_blockchain::prune::{bitcoin_archival_size, bitcoin_pruned_size, ethereum_archival_size};
 use dlt_blockchain::utxo::Wallet;
 use dlt_crypto::keys::Address;
 use dlt_dag::account::NanoAccount;
@@ -18,24 +16,25 @@ use dlt_dag::lattice::{Lattice, LatticeParams};
 use dlt_dag::prune::{ledger_size, DagStorageReport, NodeRole};
 
 fn main() {
-    banner("e08", "ledger pruning", "§V-A, §V-B");
+    let _report = banner("e08", "ledger pruning", "§V-A, §V-B");
 
     // --- Bitcoin prune mode. ---
     let blocks = 60u64;
     let mut wallet = Wallet::new(1);
-    let allocations: Vec<(Address, u64)> =
-        (0..blocks).map(|_| (wallet.new_address(), 10_000)).collect();
+    let allocations: Vec<(Address, u64)> = (0..blocks)
+        .map(|_| (wallet.new_address(), 10_000))
+        .collect();
     let mut btc = BitcoinChain::new(BitcoinParams::default(), &allocations);
     for i in 1..=blocks {
-        if let Some(tx) =
-            wallet.build_transfer(btc.ledger(), Address::from_label("shop"), 100, 1)
-        {
+        if let Some(tx) = wallet.build_transfer(btc.ledger(), Address::from_label("shop"), 100, 1) {
             btc.submit_tx(tx);
         }
         btc.mine_block(Address::from_label("miner"), i * 600_000_000);
     }
     println!("\nbitcoin-like, {blocks} blocks of one payment each:");
-    let mut table = Table::new(["policy", "headers", "bodies", "undo", "UTXO set", "total", "saved"]);
+    let mut table = Table::new([
+        "policy", "headers", "bodies", "undo", "UTXO set", "total", "saved",
+    ]);
     let archival = bitcoin_archival_size(&btc);
     for (label, breakdown) in [
         ("archival", archival),
@@ -111,7 +110,9 @@ fn main() {
     for account in accounts.iter_mut() {
         let send = genesis.send(account.address(), 1_000_000).unwrap();
         let hash = lattice.process(send).unwrap();
-        lattice.process(account.receive(hash, 1_000_000).unwrap()).unwrap();
+        lattice
+            .process(account.receive(hash, 1_000_000).unwrap())
+            .unwrap();
     }
     for round in 0..20 {
         for i in 0..accounts.len() {

@@ -15,7 +15,7 @@ use dlt_dag::voting::Election;
 use dlt_sim::rng::SimRng;
 
 fn main() {
-    banner("e10", "consensus mechanisms", "§III");
+    let _report = banner("e10", "consensus mechanisms", "§III");
     let mut rng = SimRng::new(10);
 
     // --- PoW lottery fairness: win share tracks hash share. ---
@@ -49,7 +49,12 @@ fn main() {
     // --- PoS: stake-weighted proposer election. ---
     println!("\nPoS proposer election: proposal share vs stake share");
     let mut validators = ValidatorSet::new();
-    let stakes = [("whale", 500u64), ("mid", 300), ("small", 150), ("tiny", 50)];
+    let stakes = [
+        ("whale", 500u64),
+        ("mid", 300),
+        ("small", 150),
+        ("tiny", 50),
+    ];
     for (name, stake) in stakes {
         validators.deposit(Address::from_label(name), stake);
     }
@@ -80,10 +85,16 @@ fn main() {
     let mut detector = EquivocationDetector::new();
     let evil = Address::from_label("whale");
     detector.observe(evil, 42, sha256(b"block-a"));
-    let evidence = detector.observe(evil, 42, sha256(b"block-b")).expect("double-sign");
+    let evidence = detector
+        .observe(evil, 42, sha256(b"block-b"))
+        .expect("double-sign");
     let burned = validators.slash(&evidence.proposer);
     println!(
-        "validator whale double-signed slot {} -> {} stake burned; total stake {} -> {}", evidence.slot, burned, 1000, validators.total_stake()
+        "validator whale double-signed slot {} -> {} stake burned; total stake {} -> {}",
+        evidence.slot,
+        burned,
+        1000,
+        validators.total_stake()
     );
 
     // --- Casper FFG finality. ---

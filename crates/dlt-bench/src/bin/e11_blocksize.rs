@@ -24,7 +24,7 @@ use dlt_sim::network::NodeId;
 use dlt_sim::time::SimTime;
 
 fn main() {
-    banner("e11", "block size vs throughput vs centralisation", "§VI-A");
+    let _report = banner("e11", "block size vs throughput vs centralisation", "§VI-A");
 
     // Consumer-link model: 10 Mbit/s effective broadcast bandwidth plus
     // 100 ms base latency; 400 B per transaction; 600 s blocks.

@@ -6,13 +6,13 @@
 //! closes honest. Also exercises multi-hop routing across a small
 //! channel graph.
 
-use dlt_bench::{banner, Table};
+use dlt_bench::{banner, smoke, Table};
 use dlt_core::throughput::bitcoin_tps_range;
 use dlt_crypto::keys::{Address, PublicKey};
 use dlt_scaling::channels::{ChannelNetwork, ChannelPair};
 
 fn main() {
-    banner("e12", "off-chain payment channels", "§VI-A");
+    let _report = banner("e12", "off-chain payment channels", "§VI-A");
 
     println!("\non-chain cost vs off-chain volume per channel lifecycle:");
     let mut table = Table::new([
@@ -21,13 +21,19 @@ fn main() {
         "amplification",
         "final A/B balances",
     ]);
-    for volume in [10u64, 100, 1_000, 10_000] {
+    // DLT_SMOKE drops the 10,000-payment lifecycle (WOTS-signing every
+    // update dominates the runtime); the amplification trend survives.
+    let volumes: &[u64] = if smoke() {
+        &[10, 100, 500]
+    } else {
+        &[10, 100, 1_000, 10_000]
+    };
+    for &volume in volumes {
         let mut network = ChannelNetwork::new();
         // Key capacity must cover the channel's lifetime volume:
         // 2^key_height >= volume.
         let key_height = (64 - volume.leading_zeros()).max(10);
-        let mut pair =
-            ChannelPair::open_with_capacity(&mut network, volume, volume, 0, key_height);
+        let mut pair = ChannelPair::open_with_capacity(&mut network, volume, volume, 0, key_height);
         for _ in 0..volume {
             let update = pair.pay_a_to_b(1).expect("funded");
             network.apply_update(&update).expect("valid");
@@ -84,7 +90,9 @@ fn main() {
         "route from party-1 to party-4 for 400 units: {} hops",
         route.len()
     );
-    network.route_payment(parties[1], &route, 400).expect("capacity");
+    network
+        .route_payment(parties[1], &route, 400)
+        .expect("capacity");
     println!(
         "after payment: total off-chain updates {}, on-chain txs {} (all opens)",
         network.total_updates, network.total_onchain_txs

@@ -11,7 +11,7 @@ use dlt_scaling::sharding::{ShardedNetwork, ShardingParams};
 use dlt_sim::rng::SimRng;
 
 fn main() {
-    banner("e13", "sharding", "§VI-A");
+    let _report = banner("e13", "sharding", "§VI-A");
     let per_shard_rate = 50.0;
     let duration = 30.0;
 

@@ -15,7 +15,11 @@ use dlt_blockchain::pow::sample_mining_time;
 use dlt_sim::rng::SimRng;
 
 fn main() {
-    banner("e14", "dynamic difficulty keeps the block interval fixed", "§VI-A");
+    let _report = banner(
+        "e14",
+        "dynamic difficulty keeps the block interval fixed",
+        "§VI-A",
+    );
     let params = RetargetParams {
         target_interval_micros: 600_000_000, // 600 s — Bitcoin's target
         window: 400,

@@ -13,7 +13,7 @@ use dlt_crypto::sha256::sha256;
 use dlt_dag::block::LatticeBlock;
 
 fn main() {
-    banner("e15", "energy: hash attempts per transaction", "§III-A-2");
+    let _report = banner("e15", "energy: hash attempts per transaction", "§III-A-2");
 
     // Closed forms at Bitcoin-era-shaped operating points.
     println!("\nexpected hash attempts per transaction (closed form):");

@@ -10,7 +10,7 @@ use dlt_crypto::keys::Address;
 use dlt_scaling::plasma::{ChildTx, PlasmaChain};
 
 fn main() {
-    banner("e16", "Plasma nested chains", "§VI-A");
+    let _report = banner("e16", "Plasma nested chains", "§VI-A");
 
     println!("\nroot-chain footprint vs child-chain volume:");
     let mut table = Table::new([
@@ -21,7 +21,9 @@ fn main() {
     ]);
     for (blocks, txs_per_block) in [(5u64, 100u64), (10, 500), (20, 2_000)] {
         let mut plasma = PlasmaChain::new(10_000);
-        plasma.deposit(Address::from_label("whale"), u64::MAX / 2).unwrap();
+        plasma
+            .deposit(Address::from_label("whale"), u64::MAX / 2)
+            .unwrap();
         for _ in 0..blocks {
             for _ in 0..txs_per_block {
                 plasma
@@ -42,7 +44,9 @@ fn main() {
 
     println!("\nByzantine operator: fraud proof and penalty:");
     let mut plasma = PlasmaChain::new(50_000);
-    plasma.deposit(Address::from_label("victim"), 1_000).unwrap();
+    plasma
+        .deposit(Address::from_label("victim"), 1_000)
+        .unwrap();
     let forged = ChildTx {
         from: Address::from_label("ghost"),
         to: Address::from_label("operator-pocket"),
@@ -51,8 +55,12 @@ fn main() {
     };
     plasma.commit_block_byzantine(vec![forged]).unwrap();
     println!("operator committed a block containing a 1,000,000 transfer from an unfunded account");
-    let (tx, proof) = plasma.build_fraud_proof(0, 0).expect("stakeholder holds the data");
-    let slashed = plasma.prove_fraud(0, tx, &proof).expect("fraud is provable");
+    let (tx, proof) = plasma
+        .build_fraud_proof(0, 0)
+        .expect("stakeholder holds the data");
+    let slashed = plasma
+        .prove_fraud(0, tx, &proof)
+        .expect("fraud is provable");
     println!(
         "fraud proven from the Merkle commitment alone -> operator bond slashed: {slashed}; \
          chain halted: {}",

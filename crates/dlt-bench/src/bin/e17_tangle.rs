@@ -6,18 +6,25 @@
 //! dynamics, confirmation by cumulative weight, and the effect of the
 //! MCMC tip-selection bias α.
 
-use dlt_bench::{banner, Table};
+use dlt_bench::{banner, smoke, Table};
 use dlt_crypto::sha256::sha256;
 use dlt_dag::tangle::{Tangle, TipSelection};
 use dlt_sim::rng::SimRng;
 
 fn main() {
-    banner("e17", "IOTA-style tangle vs block-lattice structure", "footnote 1, §II-B");
+    let _report = banner(
+        "e17",
+        "IOTA-style tangle vs block-lattice structure",
+        "footnote 1, §II-B",
+    );
 
     // Concurrency matters: transactions arriving within one network
     // round-trip select tips from the same snapshot (they cannot see
     // each other). We attach in rounds of `k` concurrent transactions.
-    println!("\ntip-pool size and confirmation after 200 rounds × k concurrent arrivals:");
+    // DLT_SMOKE shrinks the attachment rounds; the steady-state tip
+    // counts are noisier but the strategy ordering is unchanged.
+    let rounds = if smoke() { 40 } else { 200 };
+    println!("\ntip-pool size and confirmation after {rounds} rounds × k concurrent arrivals:");
     let mut table = Table::new([
         "tip selection",
         "k (arrival rate)",
@@ -26,14 +33,20 @@ fn main() {
     ]);
     for (label, strategy) in [
         ("uniform random", TipSelection::UniformRandom),
-        ("weighted walk α=0.05", TipSelection::WeightedWalk { alpha: 0.05 }),
-        ("weighted walk α=0.3", TipSelection::WeightedWalk { alpha: 0.3 }),
+        (
+            "weighted walk α=0.05",
+            TipSelection::WeightedWalk { alpha: 0.05 },
+        ),
+        (
+            "weighted walk α=0.3",
+            TipSelection::WeightedWalk { alpha: 0.3 },
+        ),
     ] {
         for k in [1u64, 5, 20] {
             let mut tangle = Tangle::new(40);
             let mut rng = SimRng::new(17);
             let mut tag = 0u64;
-            for _round in 0..200 {
+            for _round in 0..rounds {
                 // Everyone in this round sees the same tangle snapshot.
                 let parents: Vec<_> = (0..k)
                     .map(|_| tangle.select_tips(strategy, &mut rng))
@@ -54,19 +67,27 @@ fn main() {
     table.print();
 
     println!("\nlazy-tip resistance (a parasite transaction approving only stale history):");
-    let mut table = Table::new(["tip selection", "lazy tip weight after 500 txs", "confirmed?"]);
+    let (before, after) = if smoke() { (50u64, 150u64) } else { (200, 700) };
+    let mut table = Table::new([
+        "tip selection".to_string(),
+        format!("lazy tip weight after {} txs", after - before),
+        "confirmed?".to_string(),
+    ]);
     for (label, strategy) in [
         ("uniform random", TipSelection::UniformRandom),
-        ("weighted walk α=0.3", TipSelection::WeightedWalk { alpha: 0.3 }),
+        (
+            "weighted walk α=0.3",
+            TipSelection::WeightedWalk { alpha: 0.3 },
+        ),
     ] {
         let mut tangle = Tangle::new(20);
         let mut rng = SimRng::new(18);
-        for i in 0..200u64 {
+        for i in 0..before {
             tangle.attach(sha256(&i.to_be_bytes()), strategy, &mut rng);
         }
         let genesis = tangle.genesis();
         let lazy = tangle.attach_approving(sha256(b"lazy"), [genesis, genesis], 999_999);
-        for i in 200..700u64 {
+        for i in before..after {
             tangle.attach(sha256(&i.to_be_bytes()), strategy, &mut rng);
         }
         table.row([

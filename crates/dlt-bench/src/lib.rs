@@ -3,10 +3,21 @@
 //! Each `src/bin/eNN_*.rs` binary regenerates one table or figure of
 //! the paper (see DESIGN.md §4 for the index and EXPERIMENTS.md for the
 //! paper-vs-measured record). The binaries print fixed-width text
-//! tables via [`Table`].
+//! tables via [`Table`] and open with [`banner`], whose returned
+//! [`Report`] guard mirrors every printed table into a JSON file when
+//! `DLT_JSON_OUT` is set (CI smoke tests parse that file).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::cell::RefCell;
+
+use dlt_testkit::json::Json;
+
+thread_local! {
+    /// Tables printed so far on this thread, captured for [`Report`].
+    static PRINTED_TABLES: RefCell<Vec<Json>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A minimal fixed-width text-table printer.
 pub struct Table {
@@ -62,9 +73,33 @@ impl Table {
         out
     }
 
-    /// Prints the table to stdout.
+    /// Prints the table to stdout and records it for the active
+    /// [`Report`] (if any) so `DLT_JSON_OUT` captures it.
     pub fn print(&self) {
         print!("{}", self.render());
+        let json = Json::object([
+            (
+                "headers",
+                Json::Array(
+                    self.headers
+                        .iter()
+                        .map(|h| Json::String(h.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "rows",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|row| {
+                            Json::Array(row.iter().map(|c| Json::String(c.clone())).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        PRINTED_TABLES.with(|tables| tables.borrow_mut().push(json));
     }
 }
 
@@ -80,12 +115,73 @@ pub fn human_bytes(bytes: f64) -> String {
     format!("{value:.2} {}", UNITS[unit])
 }
 
-/// Prints an experiment banner.
-pub fn banner(id: &str, title: &str, paper_ref: &str) {
+/// Prints an experiment banner and returns the guard that writes the
+/// machine-readable report on exit.
+///
+/// Bind the result for the whole of `main` (`let _report = banner(...)`)
+/// so every table printed afterwards lands in the JSON file.
+#[must_use = "bind as `let _report = banner(...)` so the JSON report is written on exit"]
+pub fn banner(id: &str, title: &str, paper_ref: &str) -> Report {
     println!("==============================================================");
     println!("{id}: {title}");
     println!("paper: {paper_ref}");
     println!("==============================================================");
+    PRINTED_TABLES.with(|tables| tables.borrow_mut().clear());
+    Report {
+        id: id.to_string(),
+        title: title.to_string(),
+        paper_ref: paper_ref.to_string(),
+    }
+}
+
+/// Whether `DLT_SMOKE` asks for tiny parameters (CI smoke runs).
+///
+/// Experiments with long-running sweeps scale their workloads down
+/// when this is set; the output keeps its structure, only the
+/// statistics get noisier.
+pub fn smoke() -> bool {
+    std::env::var_os("DLT_SMOKE").is_some_and(|v| !v.is_empty())
+}
+
+/// Prints a lighter divider for a second act within one experiment.
+pub fn section(title: &str) {
+    println!("--------------------------------------------------------------");
+    println!("{title}");
+    println!("--------------------------------------------------------------");
+}
+
+/// Guard returned by [`banner`]: on drop, writes the experiment id and
+/// all tables printed since the banner as JSON to the path named by the
+/// `DLT_JSON_OUT` environment variable (no-op when unset or empty).
+///
+/// The JSON is deterministic — object keys are sorted and table rows
+/// keep print order — so a seeded experiment run twice produces
+/// byte-identical files.
+pub struct Report {
+    id: String,
+    title: String,
+    paper_ref: String,
+}
+
+impl Drop for Report {
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("DLT_JSON_OUT") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let tables = PRINTED_TABLES.with(|tables| tables.borrow_mut().split_off(0));
+        let json = Json::object([
+            ("id", Json::String(self.id.clone())),
+            ("title", Json::String(self.title.clone())),
+            ("paper", Json::String(self.paper_ref.clone())),
+            ("tables", Json::Array(tables)),
+        ]);
+        if let Err(err) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("warning: could not write {path}: {err}");
+        }
+    }
 }
 
 #[cfg(test)]

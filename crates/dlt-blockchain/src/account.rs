@@ -336,7 +336,10 @@ impl StateDb {
             });
         }
         let fee = tx.fee();
-        let total = tx.amount.checked_add(fee).ok_or(AccountError::InsufficientBalance)?;
+        let total = tx
+            .amount
+            .checked_add(fee)
+            .ok_or(AccountError::InsufficientBalance)?;
         if sender.balance < total {
             return Err(AccountError::InsufficientBalance);
         }
@@ -538,7 +541,10 @@ mod tests {
         assert_eq!(db.account(root, &addr).balance, 500);
         assert_eq!(db.account(root, &addr).nonce, 0);
         // Untouched accounts read as zero.
-        assert_eq!(db.account(root, &Address::from_label("y")), AccountState::default());
+        assert_eq!(
+            db.account(root, &Address::from_label("y")),
+            AccountState::default()
+        );
     }
 
     #[test]
@@ -553,7 +559,10 @@ mod tests {
         let (root, receipt) = db.apply_tx(root, &tx, &producer()).unwrap();
         assert_eq!(db.account(root, &bob).balance, 100);
         assert_eq!(db.account(root, &producer()).balance, fee);
-        assert_eq!(db.account(root, &alice.address()).balance, 1_000_000 - 100 - fee);
+        assert_eq!(
+            db.account(root, &alice.address()).balance,
+            1_000_000 - 100 - fee
+        );
         assert_eq!(db.account(root, &alice.address()).nonce, 1);
         assert!(receipt.success);
         assert_eq!(receipt.gas_used, INTRINSIC_GAS);
@@ -579,7 +588,13 @@ mod tests {
         let tx2 = alice.transfer(Address::from_label("b"), 1, 1);
         // Apply out of order: tx2 first.
         let err = db.apply_tx(root, &tx2, &producer()).unwrap_err();
-        assert_eq!(err, AccountError::BadNonce { expected: 0, got: 1 });
+        assert_eq!(
+            err,
+            AccountError::BadNonce {
+                expected: 0,
+                got: 1
+            }
+        );
         // In order works.
         let (root, _) = db.apply_tx(root, &tx1, &producer()).unwrap();
         let (_root, _) = db.apply_tx(root, &tx2, &producer()).unwrap();

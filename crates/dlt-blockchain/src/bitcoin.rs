@@ -259,9 +259,8 @@ impl BitcoinChain {
             } => {
                 self.apply_branch(applied.clone(), reverted.clone())?;
             }
-            InsertOutcome::SideChain
-            | InsertOutcome::AwaitingParent
-            | InsertOutcome::Duplicate => {}
+            InsertOutcome::SideChain | InsertOutcome::AwaitingParent | InsertOutcome::Duplicate => {
+            }
         }
         Ok(outcome)
     }

@@ -180,8 +180,7 @@ impl<T: LedgerTx> Block<T> {
 
     /// Serialized size in bytes: header plus transaction bodies.
     pub fn size_bytes(&self) -> usize {
-        self.header.size_bytes()
-            + self.txs.iter().map(LedgerTx::encoded_size).sum::<usize>()
+        self.header.size_bytes() + self.txs.iter().map(LedgerTx::encoded_size).sum::<usize>()
     }
 }
 

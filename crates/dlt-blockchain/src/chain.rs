@@ -242,7 +242,9 @@ impl<T: LedgerTx> ChainStore<T> {
         }
 
         let old_tip = self.tip();
-        if let Err(err) = self.connect(block) { return InsertOutcome::Rejected(err) }
+        if let Err(err) = self.connect(block) {
+            return InsertOutcome::Rejected(err);
+        }
         // Connecting one block may unlock a cascade of orphans.
         self.flush_orphans(id);
         self.outcome_since(old_tip)

@@ -12,9 +12,8 @@
 //! the interval actually completed (clamped to 4× per step, as
 //! Bitcoin clamps it).
 
+use dlt_crypto::codec::{Decode, DecodeError, Encode};
 use dlt_crypto::Digest;
-use serde::{Deserialize, Serialize};
-
 /// Derives the 256-bit PoW target for a difficulty, via long division
 /// of 2²⁵⁶ − 1 by the difficulty over 64-bit limbs.
 ///
@@ -37,7 +36,7 @@ pub fn target_from_difficulty(difficulty: u64) -> Digest {
 }
 
 /// Parameters governing difficulty adjustment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetargetParams {
     /// Desired block interval in microseconds (Bitcoin: 600 s,
     /// Ethereum: 15 s).
@@ -74,6 +73,24 @@ impl RetargetParams {
     }
 }
 
+impl Encode for RetargetParams {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.target_interval_micros.encode(out);
+        self.window.encode(out);
+        self.max_step.encode(out);
+    }
+}
+
+impl Decode for RetargetParams {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(RetargetParams {
+            target_interval_micros: u64::decode(input)?,
+            window: u64::decode(input)?,
+            max_step: u64::decode(input)?,
+        })
+    }
+}
+
 /// Computes the next difficulty after a window that took
 /// `actual_span_micros` of simulated time instead of the expected
 /// `window × target_interval`.
@@ -85,8 +102,10 @@ pub fn retarget(params: &RetargetParams, old_difficulty: u64, actual_span_micros
     let expected = u128::from(params.target_interval_micros) * u128::from(params.window);
     // Clamp the observed span into [expected/max_step, expected*max_step]
     // before scaling, as Bitcoin does, to bound per-step swings.
-    let actual = u128::from(actual_span_micros.max(1))
-        .clamp(expected / u128::from(params.max_step), expected * u128::from(params.max_step));
+    let actual = u128::from(actual_span_micros.max(1)).clamp(
+        expected / u128::from(params.max_step),
+        expected * u128::from(params.max_step),
+    );
     let new = u128::from(old_difficulty) * expected / actual;
     u64::try_from(new).unwrap_or(u64::MAX).max(1)
 }
@@ -94,6 +113,19 @@ pub fn retarget(params: &RetargetParams, old_difficulty: u64, actual_span_micros
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retarget_params_codec_round_trip() {
+        for p in [
+            RetargetParams::bitcoin_like(),
+            RetargetParams::ethereum_like(),
+        ] {
+            let bytes = p.encode_to_vec();
+            assert_eq!(bytes.len(), p.encoded_len());
+            let back: RetargetParams = dlt_crypto::codec::decode_exact(&bytes).unwrap();
+            assert_eq!(back, p);
+        }
+    }
 
     #[test]
     fn difficulty_one_is_max_target() {
@@ -202,8 +234,7 @@ mod tests {
         let hashrate_per_micro = 0.001; // 1000 hashes per second
         let mut difficulty = 1u64;
         for _ in 0..20 {
-            let span_micros =
-                (p.window as f64 * difficulty as f64 / hashrate_per_micro) as u64;
+            let span_micros = (p.window as f64 * difficulty as f64 / hashrate_per_micro) as u64;
             difficulty = retarget(&p, difficulty, span_micros);
         }
         let ideal = (hashrate_per_micro * p.target_interval_micros as f64) as u64;

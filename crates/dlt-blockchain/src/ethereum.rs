@@ -319,9 +319,8 @@ impl EthereumChain {
             } => {
                 self.validate_branch(applied.clone(), reverted)?;
             }
-            InsertOutcome::SideChain
-            | InsertOutcome::AwaitingParent
-            | InsertOutcome::Duplicate => {}
+            InsertOutcome::SideChain | InsertOutcome::AwaitingParent | InsertOutcome::Duplicate => {
+            }
         }
         Ok(outcome)
     }
@@ -388,8 +387,7 @@ impl EthereumChain {
             .filter_map(|id| self.roots.get(id).copied())
             .collect();
         // Forget the root index for pruned heights too.
-        let keep_set: std::collections::HashSet<Digest> =
-            active[start..].iter().copied().collect();
+        let keep_set: std::collections::HashSet<Digest> = active[start..].iter().copied().collect();
         self.roots.retain(|block, _| keep_set.contains(block));
         self.receipts.retain(|block, _| keep_set.contains(block));
         self.state.trie_mut().collect_garbage(&live_roots)
@@ -579,12 +577,7 @@ mod tests {
         // Saturated blocks: limit grows.
         // Fill well past 2/3 of the limit with payload-heavy txs.
         for _ in 0..55 {
-            chain.submit_tx(alice.transfer_with_payload(
-                Address::from_label("sink"),
-                1,
-                1,
-                2_000,
-            ));
+            chain.submit_tx(alice.transfer_with_payload(Address::from_label("sink"), 1, 1, 2_000));
         }
         chain.produce_block(Address::from_label("v"), 2);
         let l2 = chain

@@ -197,7 +197,7 @@ mod tests {
         let mut pool = Mempool::new(2);
         pool.insert(tx(1, 1, 100)); // rate 0.01
         pool.insert(tx(2, 2, 100)); // rate 0.02
-        // Better than tx 1 -> evicts it.
+                                    // Better than tx 1 -> evicts it.
         assert!(pool.insert(tx(3, 5, 100)));
         assert_eq!(pool.len(), 2);
         assert!(!pool.contains(&tx(1, 1, 100).id()));

@@ -196,7 +196,12 @@ impl<T: LedgerTx> MinerNode<T> {
         let selected = self.mempool.select_for_block(capacity);
         let fees: u64 = selected.iter().map(LedgerTx::fee).sum();
         if let Some(builder) = &self.config.coinbase {
-            txs.push(builder(height, self.config.subsidy, fees, self.config.miner_address));
+            txs.push(builder(
+                height,
+                self.config.subsidy,
+                fees,
+                self.config.miner_address,
+            ));
         }
         txs.extend(selected);
 
@@ -216,10 +221,10 @@ impl<T: LedgerTx> MinerNode<T> {
         let block = Block::new(header, txs);
         let id = block.id();
 
-        let interval_secs =
-            (ctx.now().as_micros() as f64 - parent.timestamp_micros as f64) / 1e6;
+        let interval_secs = (ctx.now().as_micros() as f64 - parent.timestamp_micros as f64) / 1e6;
         ctx.metrics().inc("node.blocks_mined");
-        ctx.metrics().record("node.block_interval_secs", interval_secs);
+        ctx.metrics()
+            .record("node.block_interval_secs", interval_secs);
         self.seen.insert(id);
         self.accept_block(ctx, block.clone());
         ctx.broadcast(NetMsg::Block(block));
@@ -358,10 +363,7 @@ mod tests {
     type Net = Simulation<NetMsg<TestTx>, MinerNode<TestTx>>;
 
     fn build_network(seed: u64, miners: usize, latency_ms: u64, hashrate: f64) -> Net {
-        let mut sim = Net::new(
-            seed,
-            LatencyModel::Fixed(SimTime::from_millis(latency_ms)),
-        );
+        let mut sim = Net::new(seed, LatencyModel::Fixed(SimTime::from_millis(latency_ms)));
         for _ in 0..miners {
             sim.add_node(MinerNode::new(genesis(), miner_config(hashrate)));
         }
@@ -429,7 +431,12 @@ mod tests {
         let mut sim = build_network(4, 3, 10, 0.4);
         let tx = TestTx::new(42);
         let tx_id = tx.id();
-        sim.deliver_at(SimTime::from_millis(1), NodeId(0), NodeId(0), NetMsg::Tx(tx));
+        sim.deliver_at(
+            SimTime::from_millis(1),
+            NodeId(0),
+            NodeId(0),
+            NetMsg::Tx(tx),
+        );
         sim.run_until(SimTime::from_secs(30));
         // The tx must be in some mined block on the active chain.
         let node = sim.node(NodeId(1));
@@ -455,7 +462,10 @@ mod tests {
         let relay_height = sim.node(NodeId(1)).chain().tip_height();
         assert!(miner_height > 0);
         assert_eq!(miner_height, relay_height);
-        assert_eq!(sim.node(NodeId(1)).chain().tip(), sim.node(NodeId(0)).chain().tip());
+        assert_eq!(
+            sim.node(NodeId(1)).chain().tip(),
+            sim.node(NodeId(0)).chain().tip()
+        );
     }
 
     #[test]

@@ -150,7 +150,9 @@ impl PosChain {
     ///
     /// [`PosChainError::NoValidators`] when no stake is deposited.
     pub fn advance_slot(&mut self, slot: u64) -> Result<Block<AccountTx>, PosChainError> {
-        let proposer = self.slot_proposer(slot).ok_or(PosChainError::NoValidators)?;
+        let proposer = self
+            .slot_proposer(slot)
+            .ok_or(PosChainError::NoValidators)?;
         let timestamp = slot * self.params.slot_micros;
         let block = self.chain.produce_block(proposer, timestamp);
         self.detector.observe(proposer, slot, block.id());
@@ -242,9 +244,7 @@ impl PosChain {
         let store = self.chain.chain();
         if let Some(parent_work) = store.chainwork(&block.header.parent) {
             let new_work = parent_work + u128::from(block.header.difficulty);
-            let tip_work = store
-                .chainwork(&store.tip())
-                .expect("tip is stored");
+            let tip_work = store.chainwork(&store.tip()).expect("tip is stored");
             if new_work > tip_work && !store.is_active(&block.header.parent) {
                 // Walk to the fork point.
                 let mut cursor = block.header.parent;
@@ -428,7 +428,7 @@ mod tests {
     fn pos_block_rate_beats_pow() {
         let (chain, _) = setup(32);
         assert_eq!(chain.blocks_per_second(), 0.25); // 4 s slots
-        // vs 1/15 for PoW Ethereum and 1/600 for Bitcoin.
+                                                     // vs 1/15 for PoW Ethereum and 1/600 for Bitcoin.
         assert!(chain.blocks_per_second() > 1.0 / 15.0);
     }
 

@@ -25,7 +25,10 @@ use crate::difficulty::target_from_difficulty;
 /// Verifies a header's proof-of-work: its hash must be at or below the
 /// target implied by its difficulty field.
 pub fn pow_valid(header: &BlockHeader) -> bool {
-    header.difficulty > 0 && header.id().meets_target(&target_from_difficulty(header.difficulty))
+    header.difficulty > 0
+        && header
+            .id()
+            .meets_target(&target_from_difficulty(header.difficulty))
 }
 
 /// Mines a header by real partial hash inversion: tries nonces
@@ -54,7 +57,10 @@ pub fn mine_real(header: &mut BlockHeader, max_attempts: u64) -> Option<u64> {
 /// Panics if `hashrate` is not positive and finite or `difficulty`
 /// is 0.
 pub fn sample_mining_time(rng: &mut SimRng, hashrate: f64, difficulty: u64) -> SimTime {
-    assert!(hashrate.is_finite() && hashrate > 0.0, "hashrate must be positive");
+    assert!(
+        hashrate.is_finite() && hashrate > 0.0,
+        "hashrate must be positive"
+    );
     assert!(difficulty > 0, "difficulty must be at least 1");
     let mean_secs = difficulty as f64 / hashrate;
     SimTime::from_secs_f64(rng.exponential(mean_secs))
@@ -172,6 +178,10 @@ mod tests {
         let (mr, ms) = (mean(&real), mean(&sampled));
         assert!((mr - ms).abs() / ms < 0.3, "means {mr} vs {ms}");
         assert!((cv(&real) - 1.0).abs() < 0.3, "real cv {}", cv(&real));
-        assert!((cv(&sampled) - 1.0).abs() < 0.3, "sampled cv {}", cv(&sampled));
+        assert!(
+            (cv(&sampled) - 1.0).abs() < 0.3,
+            "sampled cv {}",
+            cv(&sampled)
+        );
     }
 }

@@ -141,8 +141,9 @@ mod tests {
 
     fn busy_chain(blocks: u64) -> BitcoinChain {
         let mut wallet = Wallet::new(1);
-        let allocations: Vec<(Address, u64)> =
-            (0..blocks).map(|_| (wallet.new_address(), 10_000)).collect();
+        let allocations: Vec<(Address, u64)> = (0..blocks)
+            .map(|_| (wallet.new_address(), 10_000))
+            .collect();
         let mut chain = BitcoinChain::new(BitcoinParams::default(), &allocations);
         for i in 1..=blocks {
             let tx = wallet

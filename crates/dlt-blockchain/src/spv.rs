@@ -252,18 +252,14 @@ mod tests {
         // (genesis).
         let tip = chain.chain().tip();
         let header2 = chain.chain().header(&tip).unwrap().clone();
-        assert_eq!(
-            spv.accept_header(header2),
-            Err(SpvError::DoesNotExtendTip)
-        );
+        assert_eq!(spv.accept_header(header2), Err(SpvError::DoesNotExtendTip));
     }
 
     #[test]
     fn storage_is_headers_only() {
         let (mut chain, mut spv, mut wallet) = setup();
         for i in 1..=10u64 {
-            if let Some(tx) =
-                wallet.build_transfer(chain.ledger(), Address::from_label("s"), 10, 1)
+            if let Some(tx) = wallet.build_transfer(chain.ledger(), Address::from_label("s"), 10, 1)
             {
                 chain.submit_tx(tx);
             }
@@ -281,7 +277,9 @@ mod tests {
     #[test]
     fn unknown_height_rejected() {
         let (_, spv, _) = setup();
-        let proof = MerkleTree::from_leaves(vec![Digest::ZERO]).prove(0).unwrap();
+        let proof = MerkleTree::from_leaves(vec![Digest::ZERO])
+            .prove(0)
+            .unwrap();
         assert_eq!(
             spv.verify_inclusion(5, &Digest::ZERO, &proof),
             Err(SpvError::UnknownHeader)

@@ -390,7 +390,11 @@ impl UtxoLedger {
     /// # Errors
     ///
     /// Any [`UtxoError`] leaves the ledger untouched.
-    pub fn apply_block(&mut self, block: &Block<UtxoTx>, subsidy: u64) -> Result<BlockUndo, UtxoError> {
+    pub fn apply_block(
+        &mut self,
+        block: &Block<UtxoTx>,
+        subsidy: u64,
+    ) -> Result<BlockUndo, UtxoError> {
         // Validate first, then mutate: collect fees and stage changes.
         let mut block_created: HashMap<OutPoint, TxOutput> = HashMap::new();
         let mut block_spent: HashSet<OutPoint> = HashSet::new();
@@ -567,8 +571,7 @@ impl Wallet {
                         .remove(address)
                         .expect("selected inputs come from owned addresses");
                     let pubkey = keypair.public_key();
-                    let signature =
-                        keypair.sign(&sighash).expect("one-time keys never exhaust");
+                    let signature = keypair.sign(&sighash).expect("one-time keys never exhaust");
                     signed.insert(*address, (pubkey, signature.clone()));
                     (pubkey, signature)
                 }
@@ -635,7 +638,7 @@ mod tests {
         assert_eq!(ledger.balance(&to), 30);
         assert_eq!(ledger.balance(&miner), 55);
         assert_eq!(wallet.balance(&ledger), 65); // 100 - 30 - 5
-        // Total supply: 100 genesis + 50 subsidy (fee recirculates).
+                                                 // Total supply: 100 genesis + 50 subsidy (fee recirculates).
         assert_eq!(ledger.total_value(), 150);
     }
 
@@ -677,11 +680,20 @@ mod tests {
         let tx = wallet
             .build_transfer(&ledger, Address::from_label("a"), 50, 0)
             .unwrap();
-        let b1 = block_at(1, vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), tx.clone()]);
+        let b1 = block_at(
+            1,
+            vec![
+                UtxoTx::coinbase(1, 50, Address::from_label("m")),
+                tx.clone(),
+            ],
+        );
         ledger.apply_block(&b1, 50).unwrap();
 
         // Replay the same tx in the next block: inputs now missing.
-        let b2 = block_at(2, vec![UtxoTx::coinbase(2, 50, Address::from_label("m")), tx]);
+        let b2 = block_at(
+            2,
+            vec![UtxoTx::coinbase(2, 50, Address::from_label("m")), tx],
+        );
         assert_eq!(ledger.apply_block(&b2, 50), Err(UtxoError::MissingInput));
     }
 
@@ -698,7 +710,10 @@ mod tests {
         // Swap in a different pubkey.
         let intruder = Keypair::wots_from_seed([9u8; 32]);
         tx.inputs[0].pubkey = intruder.public_key();
-        let block = block_at(1, vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), tx]);
+        let block = block_at(
+            1,
+            vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), tx],
+        );
         assert_eq!(ledger.apply_block(&block, 50), Err(UtxoError::WrongOwner));
     }
 
@@ -713,7 +728,10 @@ mod tests {
             .build_transfer(&ledger, Address::from_label("a"), 10, 0)
             .unwrap();
         tx.outputs[0].recipient = Address::from_label("attacker");
-        let block = block_at(1, vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), tx]);
+        let block = block_at(
+            1,
+            vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), tx],
+        );
         assert_eq!(ledger.apply_block(&block, 50), Err(UtxoError::BadSignature));
     }
 
@@ -728,7 +746,10 @@ mod tests {
             .build_transfer(&ledger, Address::from_label("a"), 10, 5)
             .unwrap();
         tx.declared_fee = 1; // lie about the fee
-        let block = block_at(1, vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), tx]);
+        let block = block_at(
+            1,
+            vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), tx],
+        );
         let err = ledger.apply_block(&block, 50).unwrap_err();
         assert!(
             matches!(err, UtxoError::FeeMismatch | UtxoError::BadSignature),
@@ -757,7 +778,10 @@ mod tests {
             .build_transfer(&ledger, Address::from_label("a"), 10, 0)
             .unwrap();
         // Regular tx first.
-        let block = block_at(1, vec![tx, UtxoTx::coinbase(1, 50, Address::from_label("m"))]);
+        let block = block_at(
+            1,
+            vec![tx, UtxoTx::coinbase(1, 50, Address::from_label("m"))],
+        );
         assert_eq!(
             ledger.apply_block(&block, 50),
             Err(UtxoError::CoinbaseMisplaced)
@@ -777,7 +801,10 @@ mod tests {
         let tx = wallet
             .build_transfer(&ledger, Address::from_label("a"), 25, 1)
             .unwrap();
-        let block = block_at(1, vec![UtxoTx::coinbase(1, 51, Address::from_label("m")), tx]);
+        let block = block_at(
+            1,
+            vec![UtxoTx::coinbase(1, 51, Address::from_label("m")), tx],
+        );
         let undo = ledger.apply_block(&block, 50).unwrap();
         assert_ne!(ledger.total_value(), before_value);
 
@@ -802,7 +829,13 @@ mod tests {
         // wallet2 must see tx1's output to build tx2: apply to a scratch
         // ledger to construct, then validate against the real one.
         let mut scratch = ledger.clone();
-        let scratch_block = block_at(1, vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), tx1.clone()]);
+        let scratch_block = block_at(
+            1,
+            vec![
+                UtxoTx::coinbase(1, 50, Address::from_label("m")),
+                tx1.clone(),
+            ],
+        );
         scratch.apply_block(&scratch_block, 50).unwrap();
         let tx2 = wallet2
             .build_transfer(&scratch, Address::from_label("end"), 40, 0)
@@ -810,11 +843,7 @@ mod tests {
 
         let block = block_at(
             1,
-            vec![
-                UtxoTx::coinbase(1, 50, Address::from_label("m")),
-                tx1,
-                tx2,
-            ],
+            vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), tx1, tx2],
         );
         ledger.apply_block(&block, 50).unwrap();
         assert_eq!(ledger.balance(&Address::from_label("end")), 40);
@@ -842,7 +871,10 @@ mod tests {
             .unwrap();
         // Corrupt the signature: assume-valid mode still applies.
         tx.outputs[0].recipient = Address::from_label("elsewhere");
-        let block = block_at(1, vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), tx]);
+        let block = block_at(
+            1,
+            vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), tx],
+        );
         ledger.apply_block(&block, 50).unwrap();
         // But structural violations (double spends) still fail.
         let mut w2 = Wallet::new(15);
@@ -852,7 +884,14 @@ mod tests {
         let t = w2
             .build_transfer(&l2, Address::from_label("x"), 10, 0)
             .unwrap();
-        let b = block_at(1, vec![UtxoTx::coinbase(1, 50, Address::from_label("m")), t.clone(), t]);
+        let b = block_at(
+            1,
+            vec![
+                UtxoTx::coinbase(1, 50, Address::from_label("m")),
+                t.clone(),
+                t,
+            ],
+        );
         assert_eq!(l2.apply_block(&b, 50), Err(UtxoError::DoubleSpend));
     }
 

@@ -89,7 +89,13 @@ pub struct RaceOutcome {
 /// attacker's with probability `q`. This is exactly the sampled-PoW
 /// model's race, so agreement with [`revert_probability`] validates
 /// both (the `e05` ablation).
-pub fn simulate_race(q: f64, z: u32, trials: u32, give_up_deficit: i64, rng: &mut SimRng) -> RaceOutcome {
+pub fn simulate_race(
+    q: f64,
+    z: u32,
+    trials: u32,
+    give_up_deficit: i64,
+    rng: &mut SimRng,
+) -> RaceOutcome {
     assert!((0.0..1.0).contains(&q), "q in [0, 1)");
     let mut wins = 0u32;
     for _ in 0..trials {
@@ -215,11 +221,7 @@ mod tests {
             (0.45, 340),
         ];
         for (q, z) in expected {
-            assert_eq!(
-                depth_for_risk(q, 0.001),
-                Some(z),
-                "q={q} should need z={z}"
-            );
+            assert_eq!(depth_for_risk(q, 0.001), Some(z), "q={q} should need z={z}");
         }
     }
 

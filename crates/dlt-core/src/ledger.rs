@@ -471,8 +471,7 @@ impl DistributedLedger for NanoAdapter {
             ready
         };
         for flight in due {
-            if let Ok(receive) = self.accounts[flight.to].receive(flight.send_hash, flight.amount)
-            {
+            if let Ok(receive) = self.accounts[flight.to].receive(flight.send_hash, flight.amount) {
                 if self.lattice.process(receive).is_ok() {
                     self.confirmed_at
                         .insert(flight.send_hash, self.elapsed + self.confirm_delay);
@@ -718,10 +717,7 @@ mod tests {
         let ticket = ledger.submit_transfer(0, 1, 10).unwrap();
         assert_eq!(ledger.status(&ticket), TxStatus::Pending);
         ledger.advance(SimTime::from_millis(250)); // receive issued
-        assert!(matches!(
-            ledger.status(&ticket),
-            TxStatus::Included { .. }
-        ));
+        assert!(matches!(ledger.status(&ticket), TxStatus::Included { .. }));
         ledger.advance(SimTime::from_millis(400)); // votes confirm
         assert_eq!(ledger.status(&ticket), TxStatus::Confirmed);
     }

@@ -111,9 +111,7 @@ mod tests {
         let one_year = model.size_after_days(7.0, 365.0);
         // 7 TPS * 500 B ≈ 110 GB/year — Bitcoin-like scale.
         assert!(one_year > 100e9 && one_year < 120e9, "{one_year}");
-        assert!(
-            (annual_growth_bytes(500.0, 7.0) - one_year).abs() < 1.0
-        );
+        assert!((annual_growth_bytes(500.0, 7.0) - one_year).abs() < 1.0);
     }
 
     #[test]

@@ -233,6 +233,30 @@ impl Decode for usize {
     }
 }
 
+/// `f64` encodes as its IEEE-754 bit pattern, big-endian, 8 bytes.
+///
+/// Floats never appear in hashing preimages (block and transaction
+/// identity stays float-free); this impl exists so *configuration*
+/// payloads — latency models, rate parameters — can use the same codec
+/// as everything else. The bit-pattern encoding is exact and
+/// deterministic, including for negative zero.
+impl Encode for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_be_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for f64 {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let bytes = read_n(input, 8)?;
+        let arr: [u8; 8] = bytes.try_into().expect("read_n returned 8 bytes");
+        Ok(f64::from_bits(u64::from_be_bytes(arr)))
+    }
+}
+
 impl Encode for Digest {
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(self.as_bytes());
@@ -348,7 +372,17 @@ mod tests {
 
     #[test]
     fn varint_round_trips() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_varint(v, &mut buf);
             assert_eq!(buf.len(), varint_len(v), "len for {v}");
@@ -404,10 +438,23 @@ mod tests {
     }
 
     #[test]
+    fn f64_round_trips_exactly() {
+        for v in [0.0f64, -0.0, 1.5, -3.25, f64::MIN_POSITIVE, f64::MAX, 0.4] {
+            let bytes = v.encode_to_vec();
+            assert_eq!(bytes.len(), 8);
+            let back: f64 = decode_exact(&bytes).expect("decode");
+            assert_eq!(back.to_bits(), v.to_bits(), "bit-exact for {v}");
+        }
+    }
+
+    #[test]
     fn trailing_bytes_detected() {
         let mut bytes = 5u64.encode_to_vec();
         bytes.push(0);
-        assert_eq!(decode_exact::<u64>(&bytes), Err(DecodeError::TrailingBytes(1)));
+        assert_eq!(
+            decode_exact::<u64>(&bytes),
+            Err(DecodeError::TrailingBytes(1))
+        );
     }
 
     #[test]

@@ -8,8 +8,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::hexutil;
 
 /// A 256-bit hash value (e.g. the output of SHA-256).
@@ -27,9 +25,7 @@ use crate::hexutil;
 /// assert_eq!(d.to_hex().len(), 64);
 /// assert!(d > dlt_crypto::Digest::ZERO);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Digest([u8; 32]);
 
 impl Digest {

@@ -15,8 +15,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Decode, DecodeError, Encode};
 use crate::digest::Digest;
 use crate::lamport::{LamportKeypair, LamportSignature};
@@ -25,9 +23,7 @@ use crate::sha256::{sha256, Sha256};
 use crate::wots::{WotsKeypair, WotsSignature};
 
 /// A compact public-key commitment (32 bytes regardless of scheme).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PublicKey(pub Digest);
 
 impl PublicKey {
@@ -65,9 +61,7 @@ impl Decode for PublicKey {
 ///
 /// Addresses identify UTXO output owners, Ethereum-style accounts and
 /// Nano-style account chains alike.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Address(pub Digest);
 
 impl Address {
@@ -109,7 +103,7 @@ impl Decode for Address {
 }
 
 /// A scheme-tagged signature.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Signature {
     /// Lamport one-time signature (largest, simplest).
     Lamport(LamportSignature),
@@ -193,17 +187,17 @@ pub enum Keypair {
 
 impl Keypair {
     /// Generates a fresh one-time Lamport keypair.
-    pub fn lamport<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+    pub fn lamport<R: dlt_testkit::rng::RngCore + ?Sized>(rng: &mut R) -> Self {
         Keypair::Lamport(LamportKeypair::generate(rng))
     }
 
     /// Generates a fresh one-time WOTS keypair.
-    pub fn wots<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+    pub fn wots<R: dlt_testkit::rng::RngCore + ?Sized>(rng: &mut R) -> Self {
         Keypair::Wots(WotsKeypair::generate(rng))
     }
 
     /// Generates a fresh many-time MSS keypair.
-    pub fn mss<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+    pub fn mss<R: dlt_testkit::rng::RngCore + ?Sized>(rng: &mut R) -> Self {
         Keypair::Mss(MssKeypair::generate(rng))
     }
 
@@ -263,8 +257,7 @@ impl Keypair {
 mod tests {
     use super::*;
     use crate::codec::decode_exact;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dlt_testkit::rng::Xoshiro256StarStar;
 
     #[test]
     fn address_derivation_is_deterministic() {
@@ -282,7 +275,7 @@ mod tests {
 
     #[test]
     fn all_schemes_sign_and_verify() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
         let msg = sha256(b"unified message");
         for mut kp in [
             Keypair::lamport(&mut rng),
@@ -298,7 +291,7 @@ mod tests {
 
     #[test]
     fn signature_codec_round_trip_all_schemes() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
         let msg = sha256(b"codec");
         for mut kp in [
             Keypair::lamport(&mut rng),

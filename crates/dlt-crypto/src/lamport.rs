@@ -23,8 +23,6 @@
 //! Key material is derived deterministically from a 32-byte seed, so a
 //! keypair stores just its seed plus the cached public commitment.
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Decode, DecodeError, Encode};
 use crate::digest::Digest;
 use crate::sha256::{sha256, Sha256};
@@ -90,7 +88,7 @@ impl LamportKeypair {
     }
 
     /// Generates a keypair from an RNG.
-    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+    pub fn generate<R: dlt_testkit::rng::RngCore + ?Sized>(rng: &mut R) -> Self {
         let mut seed = [0u8; 32];
         rng.fill_bytes(&mut seed);
         Self::from_seed(seed)
@@ -125,7 +123,7 @@ impl LamportKeypair {
 
 /// A Lamport signature: per message bit, the revealed secret preimage
 /// and the public hash of the opposite slot (2 × 256 × 32 B = 16 KiB).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LamportSignature {
     revealed: Vec<Digest>,
     opposite_public: Vec<Digest>,
@@ -190,8 +188,7 @@ impl Decode for LamportSignature {
 mod tests {
     use super::*;
     use crate::codec::decode_exact;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dlt_testkit::rng::Xoshiro256StarStar;
 
     #[test]
     fn sign_verify_round_trip() {
@@ -242,7 +239,7 @@ mod tests {
 
     #[test]
     fn generate_uses_rng() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(42);
         let a = LamportKeypair::generate(&mut rng);
         let b = LamportKeypair::generate(&mut rng);
         assert_ne!(a.public_digest(), b.public_digest());

@@ -6,8 +6,6 @@
 //! inclusion proofs. The tree here uses the Bitcoin convention of
 //! duplicating the last node of an odd level.
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Decode, DecodeError, Encode};
 use crate::digest::Digest;
 use crate::sha256::sha256_concat;
@@ -104,7 +102,7 @@ impl MerkleTree {
 }
 
 /// One step of a Merkle proof: a sibling digest and its side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProofStep {
     /// The sibling node's digest.
     pub sibling: Digest,
@@ -113,7 +111,7 @@ pub struct ProofStep {
 }
 
 /// An inclusion proof: the authentication path from a leaf to the root.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MerkleProof {
     /// Index of the proven leaf.
     pub index: usize,

@@ -15,8 +15,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Decode, DecodeError, Encode};
 use crate::digest::Digest;
 use crate::merkle::{MerkleProof, MerkleTree};
@@ -84,7 +82,7 @@ impl MssKeypair {
     }
 
     /// Generates a keypair with the [`DEFAULT_HEIGHT`] from an RNG.
-    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+    pub fn generate<R: dlt_testkit::rng::RngCore + ?Sized>(rng: &mut R) -> Self {
         let mut seed = [0u8; 32];
         rng.fill_bytes(&mut seed);
         Self::from_seed(seed, DEFAULT_HEIGHT)
@@ -143,7 +141,7 @@ impl std::error::Error for KeyExhausted {}
 
 /// An MSS signature: a WOTS signature under one leaf key plus the
 /// authentication path from that leaf to the account's public root.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MssSignature {
     /// Which leaf key signed.
     pub leaf_index: u32,

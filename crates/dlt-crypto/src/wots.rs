@@ -13,8 +13,6 @@
 //! WOTS is the leaf scheme of the many-time [`mss`](crate::mss)
 //! signatures used by account chains.
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Decode, DecodeError, Encode};
 use crate::digest::Digest;
 use crate::sha256::Sha256;
@@ -66,7 +64,10 @@ fn digits_with_checksum(msg: &Digest) -> [u8; LEN] {
         digits[i * 2] = byte >> 4;
         digits[i * 2 + 1] = byte & 0x0f;
     }
-    let checksum: u32 = digits[..LEN_1].iter().map(|&d| (W - 1) - u32::from(d)).sum();
+    let checksum: u32 = digits[..LEN_1]
+        .iter()
+        .map(|&d| (W - 1) - u32::from(d))
+        .sum();
     // Encode the checksum in LEN_2 base-16 digits, most significant
     // first.
     digits[LEN_1] = ((checksum >> 8) & 0x0f) as u8;
@@ -119,7 +120,7 @@ impl WotsKeypair {
     }
 
     /// Generates a keypair from an RNG.
-    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+    pub fn generate<R: dlt_testkit::rng::RngCore + ?Sized>(rng: &mut R) -> Self {
         let mut seed = [0u8; 32];
         rng.fill_bytes(&mut seed);
         Self::from_seed(seed)
@@ -146,7 +147,7 @@ impl WotsKeypair {
 }
 
 /// A WOTS signature: one intermediate chain value per digit (~2.1 KiB).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WotsSignature {
     parts: Vec<Digest>,
 }

@@ -106,7 +106,11 @@ impl NanoAccount {
         self.representative = rep;
     }
 
-    fn build(&mut self, kind: BlockKind, new_balance: u64) -> Result<LatticeBlock, AccountBuildError> {
+    fn build(
+        &mut self,
+        kind: BlockKind,
+        new_balance: u64,
+    ) -> Result<LatticeBlock, AccountBuildError> {
         let mut block = LatticeBlock {
             account: self.address(),
             account_key: self.public_key(),

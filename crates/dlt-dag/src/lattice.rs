@@ -282,10 +282,7 @@ impl Lattice {
     /// A representative's voting weight: the sum of balances delegated
     /// to it (§III-B).
     pub fn weight(&self, representative: &Address) -> u64 {
-        self.rep_weights
-            .get(representative)
-            .copied()
-            .unwrap_or(0)
+        self.rep_weights.get(representative).copied().unwrap_or(0)
     }
 
     /// Whether a block is cemented (irreversible, §IV-B).
@@ -338,7 +335,9 @@ impl Lattice {
                     // it must be a stale position with no successor —
                     // impossible for non-head blocks, which always have
                     // successors; defensively report a fork on the head.
-                    Err(LatticeError::Fork { existing: info.head })
+                    Err(LatticeError::Fork {
+                        existing: info.head,
+                    })
                 } else {
                     Err(LatticeError::GapPrevious)
                 };
@@ -718,8 +717,8 @@ mod tests {
         let (mut lattice, mut genesis) = setup(1000);
         let mut send = genesis.send(Address::from_label("x"), 1).unwrap();
         send.balance += 1; // breaks both signature and semantics
-        // Recompute work so we hit the signature check, not the work
-        // check (hash changed => work root same, work still fine).
+                           // Recompute work so we hit the signature check, not the work
+                           // check (hash changed => work root same, work still fine).
         assert_eq!(lattice.process(send), Err(LatticeError::BadSignature));
     }
 
@@ -758,7 +757,10 @@ mod tests {
         let mut bob = new_account(4);
         let fake = dlt_crypto::sha256::sha256(b"no such send");
         let receive = bob.receive(fake, 100).unwrap();
-        assert_eq!(lattice.process(receive), Err(LatticeError::SourceNotPending));
+        assert_eq!(
+            lattice.process(receive),
+            Err(LatticeError::SourceNotPending)
+        );
     }
 
     #[test]

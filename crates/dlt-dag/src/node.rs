@@ -319,10 +319,8 @@ mod tests {
             bootstrap.push(rep.receive(send_hash, share).unwrap());
         }
 
-        let mut sim: Net = Simulation::new(
-            seed,
-            LatencyModel::Fixed(SimTime::from_millis(latency_ms)),
-        );
+        let mut sim: Net =
+            Simulation::new(seed, LatencyModel::Fixed(SimTime::from_millis(latency_ms)));
         for rep_account in rep_accounts.iter().take(n) {
             let config = DagNodeConfig {
                 representative: Some(rep_account.address()),
@@ -348,8 +346,12 @@ mod tests {
         let recipient = Address::from_label("recipient");
         let send = fx.rep_accounts[0].send(recipient, 500).unwrap();
         let send_hash = send.hash();
-        fx.sim
-            .deliver_at(SimTime::from_millis(1), NodeId(0), NodeId(0), DagMsg::Publish(send));
+        fx.sim.deliver_at(
+            SimTime::from_millis(1),
+            NodeId(0),
+            NodeId(0),
+            DagMsg::Publish(send),
+        );
         fx.sim.run_until_idle(SimTime::from_secs(10));
 
         for i in 0..4 {
@@ -374,10 +376,18 @@ mod tests {
             .unwrap();
         let (a_hash, b_hash) = (a.hash(), b.hash());
         // Half the network sees A first, half sees B first.
-        fx.sim
-            .deliver_at(SimTime::from_millis(1), NodeId(0), NodeId(0), DagMsg::Publish(a.clone()));
-        fx.sim
-            .deliver_at(SimTime::from_millis(1), NodeId(3), NodeId(3), DagMsg::Publish(b.clone()));
+        fx.sim.deliver_at(
+            SimTime::from_millis(1),
+            NodeId(0),
+            NodeId(0),
+            DagMsg::Publish(a.clone()),
+        );
+        fx.sim.deliver_at(
+            SimTime::from_millis(1),
+            NodeId(3),
+            NodeId(3),
+            DagMsg::Publish(b.clone()),
+        );
         fx.sim.run_until_idle(SimTime::from_secs(30));
 
         // Exactly one branch confirmed, consistently across nodes.
@@ -407,10 +417,18 @@ mod tests {
         let s2 = fx.rep_accounts[0].send(recipient, 10).unwrap();
         let (s1_hash, s2_hash) = (s1.hash(), s2.hash());
         // Deliver the second first.
-        fx.sim
-            .deliver_at(SimTime::from_millis(1), NodeId(1), NodeId(1), DagMsg::Publish(s2));
-        fx.sim
-            .deliver_at(SimTime::from_millis(50), NodeId(1), NodeId(1), DagMsg::Publish(s1));
+        fx.sim.deliver_at(
+            SimTime::from_millis(1),
+            NodeId(1),
+            NodeId(1),
+            DagMsg::Publish(s2),
+        );
+        fx.sim.deliver_at(
+            SimTime::from_millis(50),
+            NodeId(1),
+            NodeId(1),
+            DagMsg::Publish(s1),
+        );
         fx.sim.run_until_idle(SimTime::from_secs(10));
         for i in 0..3 {
             let node = fx.sim.node(NodeId(i));
@@ -426,9 +444,15 @@ mod tests {
         // is required" — votes still circulate for confirmation, but no
         // election ever has two candidates.
         let mut fx = fixture(4, 3, 10);
-        let send = fx.rep_accounts[0].send(Address::from_label("x"), 5).unwrap();
-        fx.sim
-            .deliver_at(SimTime::from_millis(1), NodeId(0), NodeId(0), DagMsg::Publish(send));
+        let send = fx.rep_accounts[0]
+            .send(Address::from_label("x"), 5)
+            .unwrap();
+        fx.sim.deliver_at(
+            SimTime::from_millis(1),
+            NodeId(0),
+            NodeId(0),
+            DagMsg::Publish(send),
+        );
         fx.sim.run_until_idle(SimTime::from_secs(10));
         assert_eq!(fx.sim.metrics().count("dag.forks_detected"), 0);
         assert_eq!(fx.sim.metrics().count("dag.losing_branches_rolled_back"), 0);
@@ -437,9 +461,15 @@ mod tests {
     #[test]
     fn confirmation_latency_recorded() {
         let mut fx = fixture(5, 4, 25);
-        let send = fx.rep_accounts[1].send(Address::from_label("y"), 5).unwrap();
-        fx.sim
-            .deliver_at(SimTime::from_millis(1), NodeId(1), NodeId(1), DagMsg::Publish(send));
+        let send = fx.rep_accounts[1]
+            .send(Address::from_label("y"), 5)
+            .unwrap();
+        fx.sim.deliver_at(
+            SimTime::from_millis(1),
+            NodeId(1),
+            NodeId(1),
+            DagMsg::Publish(send),
+        );
         fx.sim.run_until_idle(SimTime::from_secs(10));
         let latency = fx.sim.metrics().mean("dag.confirm_latency_ms");
         assert!(latency.is_some(), "latency samples recorded");

@@ -140,9 +140,10 @@ impl Tangle {
                 let b = tips[rng.below(tips.len() as u64) as usize];
                 [a, b]
             }
-            TipSelection::WeightedWalk { alpha } => {
-                [self.weighted_walk(alpha, rng), self.weighted_walk(alpha, rng)]
-            }
+            TipSelection::WeightedWalk { alpha } => [
+                self.weighted_walk(alpha, rng),
+                self.weighted_walk(alpha, rng),
+            ],
         }
     }
 
@@ -350,12 +351,20 @@ mod tests {
         let mut tangle = Tangle::new(10);
         let mut rng = SimRng::new(4);
         for i in 0..100 {
-            tangle.attach(payload(i), TipSelection::WeightedWalk { alpha: 0.3 }, &mut rng);
+            tangle.attach(
+                payload(i),
+                TipSelection::WeightedWalk { alpha: 0.3 },
+                &mut rng,
+            );
         }
         let genesis = tangle.genesis();
         let lazy = tangle.attach_approving(payload(5000), [genesis, genesis], 5000);
         for i in 100..200 {
-            tangle.attach(payload(i), TipSelection::WeightedWalk { alpha: 0.3 }, &mut rng);
+            tangle.attach(
+                payload(i),
+                TipSelection::WeightedWalk { alpha: 0.3 },
+                &mut rng,
+            );
         }
         let lazy_weight = tangle.cumulative_weight(&lazy).unwrap();
         assert!(

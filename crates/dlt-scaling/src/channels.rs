@@ -261,7 +261,12 @@ impl ChannelNetwork {
         if update.balance_a + update.balance_b != channel.capacity() {
             return Err(ChannelError::BalanceMismatch);
         }
-        let digest = update_digest(update.channel, update.seq, update.balance_a, update.balance_b);
+        let digest = update_digest(
+            update.channel,
+            update.seq,
+            update.balance_a,
+            update.balance_b,
+        );
         if !update.sig_a.verify(&digest, &channel.key_a)
             || !update.sig_b.verify(&digest, &channel.key_b)
         {
@@ -278,7 +283,10 @@ impl ChannelNetwork {
     /// Cooperative close at the current state (one on-chain
     /// transaction). Returns the settlement to record on chain.
     pub fn close_cooperative(&mut self, id: ChannelId) -> Result<Settlement, ChannelError> {
-        let channel = self.channels.get_mut(&id).ok_or(ChannelError::UnknownChannel)?;
+        let channel = self
+            .channels
+            .get_mut(&id)
+            .ok_or(ChannelError::UnknownChannel)?;
         if channel.state != ChannelState::Open {
             return Err(ChannelError::NotOpen);
         }
@@ -302,14 +310,22 @@ impl ChannelNetwork {
         posted: &ChannelUpdate,
         deadline_micros: u64,
     ) -> Result<(), ChannelError> {
-        let channel = self.channels.get_mut(&id).ok_or(ChannelError::UnknownChannel)?;
+        let channel = self
+            .channels
+            .get_mut(&id)
+            .ok_or(ChannelError::UnknownChannel)?;
         if channel.state != ChannelState::Open {
             return Err(ChannelError::NotOpen);
         }
         if poster != channel.party_a && poster != channel.party_b {
             return Err(ChannelError::NotAParty);
         }
-        let digest = update_digest(posted.channel, posted.seq, posted.balance_a, posted.balance_b);
+        let digest = update_digest(
+            posted.channel,
+            posted.seq,
+            posted.balance_a,
+            posted.balance_b,
+        );
         if !posted.sig_a.verify(&digest, &channel.key_a)
             || !posted.sig_b.verify(&digest, &channel.key_b)
         {
@@ -338,7 +354,10 @@ impl ChannelNetwork {
         newer: &ChannelUpdate,
         now_micros: u64,
     ) -> Result<Settlement, ChannelError> {
-        let channel = self.channels.get_mut(&id).ok_or(ChannelError::UnknownChannel)?;
+        let channel = self
+            .channels
+            .get_mut(&id)
+            .ok_or(ChannelError::UnknownChannel)?;
         let ChannelState::Closing {
             posted_seq,
             poster,
@@ -384,7 +403,10 @@ impl ChannelNetwork {
         id: ChannelId,
         now_micros: u64,
     ) -> Result<Settlement, ChannelError> {
-        let channel = self.channels.get_mut(&id).ok_or(ChannelError::UnknownChannel)?;
+        let channel = self
+            .channels
+            .get_mut(&id)
+            .ok_or(ChannelError::UnknownChannel)?;
         let ChannelState::Closing {
             deadline_micros, ..
         } = channel.state
@@ -466,9 +488,7 @@ impl ChannelNetwork {
             if channel.state != ChannelState::Open {
                 return Err(ChannelError::NotOpen);
             }
-            let balance = channel
-                .balance_of(&payer)
-                .ok_or(ChannelError::NotAParty)?;
+            let balance = channel.balance_of(&payer).ok_or(ChannelError::NotAParty)?;
             if balance < amount {
                 return Err(ChannelError::InsufficientBalance);
             }
@@ -515,12 +535,7 @@ pub struct ChannelPair {
 impl ChannelPair {
     /// Opens a channel between two fresh identities with the default
     /// signature capacity (2¹⁰ = 1024 co-signed updates).
-    pub fn open(
-        network: &mut ChannelNetwork,
-        seed: u64,
-        deposit_a: u64,
-        deposit_b: u64,
-    ) -> Self {
+    pub fn open(network: &mut ChannelNetwork, seed: u64, deposit_a: u64, deposit_b: u64) -> Self {
         Self::open_with_capacity(network, seed, deposit_a, deposit_b, 10)
     }
 
@@ -605,8 +620,14 @@ impl ChannelPair {
             seq: self.seq,
             balance_a: self.balance_a,
             balance_b: self.balance_b,
-            sig_a: self.key_a.sign(&digest).expect("key capacity sized for test traffic"),
-            sig_b: self.key_b.sign(&digest).expect("key capacity sized for test traffic"),
+            sig_a: self
+                .key_a
+                .sign(&digest)
+                .expect("key capacity sized for test traffic"),
+            sig_b: self
+                .key_b
+                .sign(&digest)
+                .expect("key capacity sized for test traffic"),
         }
     }
 }

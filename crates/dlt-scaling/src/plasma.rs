@@ -175,7 +175,12 @@ impl PlasmaChain {
     }
 
     /// Submits a transfer to the operator's pending set.
-    pub fn submit(&mut self, from: Address, to: Address, amount: u64) -> Result<Digest, PlasmaError> {
+    pub fn submit(
+        &mut self,
+        from: Address,
+        to: Address,
+        amount: u64,
+    ) -> Result<Digest, PlasmaError> {
         if self.halted {
             return Err(PlasmaError::Halted);
         }
@@ -387,9 +392,7 @@ mod tests {
             amount: 50,
             tag: 1,
         };
-        plasma
-            .commit_block_byzantine(vec![honest, forged])
-            .unwrap();
+        plasma.commit_block_byzantine(vec![honest, forged]).unwrap();
 
         // Any stakeholder with the block data proves the fraud.
         let (tx, proof) = plasma.build_fraud_proof(0, 1).unwrap();
@@ -408,10 +411,7 @@ mod tests {
             Err(PlasmaError::NothingToExit)
         );
         // Halted chain accepts nothing new.
-        assert_eq!(
-            plasma.deposit(user("x"), 1),
-            Err(PlasmaError::Halted)
-        );
+        assert_eq!(plasma.deposit(user("x"), 1), Err(PlasmaError::Halted));
     }
 
     #[test]
@@ -421,7 +421,10 @@ mod tests {
         plasma.submit(user("a"), user("b"), 10).unwrap();
         plasma.commit_block().unwrap();
         let (tx, proof) = plasma.build_fraud_proof(0, 0).unwrap();
-        assert_eq!(plasma.prove_fraud(0, tx, &proof), Err(PlasmaError::NotFraud));
+        assert_eq!(
+            plasma.prove_fraud(0, tx, &proof),
+            Err(PlasmaError::NotFraud)
+        );
         assert!(!plasma.is_halted());
         assert_eq!(plasma.operator_bond(), 1_000);
     }

@@ -150,7 +150,10 @@ impl ShardedNetwork {
         for shard in self.shards.iter_mut() {
             shard.credit += self.params.per_shard_rate * dt_secs;
             while shard.credit >= 1.0 {
-                let Some(phase) = shard.inbound.pop_front().or_else(|| shard.queue.pop_front())
+                let Some(phase) = shard
+                    .inbound
+                    .pop_front()
+                    .or_else(|| shard.queue.pop_front())
                 else {
                     break;
                 };
@@ -173,12 +176,7 @@ impl ShardedNetwork {
 
     /// Runs a saturating workload for `duration_secs` at `offered_tps`
     /// and returns the measured completed-transaction throughput.
-    pub fn run_saturated(
-        &mut self,
-        offered_tps: f64,
-        duration_secs: f64,
-        rng: &mut SimRng,
-    ) -> f64 {
+    pub fn run_saturated(&mut self, offered_tps: f64, duration_secs: f64, rng: &mut SimRng) -> f64 {
         let dt = 0.1;
         let mut time = 0.0;
         let mut offered_accum = 0.0;
@@ -235,12 +233,17 @@ mod tests {
     #[test]
     fn throughput_scales_with_shard_count() {
         let mut rng = SimRng::new(3);
-        let tps_1 = ShardedNetwork::new(params(1, 50.0, 0.0)).run_saturated(10_000.0, 10.0, &mut rng);
-        let tps_4 = ShardedNetwork::new(params(4, 50.0, 0.0)).run_saturated(10_000.0, 10.0, &mut rng);
+        let tps_1 =
+            ShardedNetwork::new(params(1, 50.0, 0.0)).run_saturated(10_000.0, 10.0, &mut rng);
+        let tps_4 =
+            ShardedNetwork::new(params(4, 50.0, 0.0)).run_saturated(10_000.0, 10.0, &mut rng);
         let tps_16 =
             ShardedNetwork::new(params(16, 50.0, 0.0)).run_saturated(10_000.0, 10.0, &mut rng);
         assert!(tps_4 > tps_1 * 3.5, "4 shards ≈ 4x: {tps_4} vs {tps_1}");
-        assert!(tps_16 > tps_4 * 3.5, "16 shards ≈ 4x of 4: {tps_16} vs {tps_4}");
+        assert!(
+            tps_16 > tps_4 * 3.5,
+            "16 shards ≈ 4x of 4: {tps_16} vs {tps_4}"
+        );
     }
 
     #[test]

@@ -5,13 +5,13 @@
 //! experiments therefore sweep latency models; this module provides the
 //! three shapes they use.
 
-use serde::{Deserialize, Serialize};
+use dlt_crypto::codec::{Decode, DecodeError, Encode};
 
 use crate::rng::SimRng;
 use crate::time::SimTime;
 
 /// A model of one-way message delay on a link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LatencyModel {
     /// Every message takes exactly this long.
     Fixed(SimTime),
@@ -73,10 +73,48 @@ impl LatencyModel {
     pub fn typical(&self) -> SimTime {
         match *self {
             LatencyModel::Fixed(delay) => delay,
-            LatencyModel::Uniform { min, max } => SimTime::from_micros(
-                (min.as_micros() + max.as_micros()) / 2,
-            ),
+            LatencyModel::Uniform { min, max } => {
+                SimTime::from_micros((min.as_micros() + max.as_micros()) / 2)
+            }
             LatencyModel::LogNormal { median, .. } => median,
+        }
+    }
+}
+
+impl Encode for LatencyModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            LatencyModel::Fixed(delay) => {
+                out.push(0);
+                delay.encode(out);
+            }
+            LatencyModel::Uniform { min, max } => {
+                out.push(1);
+                min.encode(out);
+                max.encode(out);
+            }
+            LatencyModel::LogNormal { median, sigma } => {
+                out.push(2);
+                median.encode(out);
+                sigma.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for LatencyModel {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(LatencyModel::Fixed(SimTime::decode(input)?)),
+            1 => Ok(LatencyModel::Uniform {
+                min: SimTime::decode(input)?,
+                max: SimTime::decode(input)?,
+            }),
+            2 => Ok(LatencyModel::LogNormal {
+                median: SimTime::decode(input)?,
+                sigma: f64::decode(input)?,
+            }),
+            t => Err(DecodeError::InvalidTag(t)),
         }
     }
 }
@@ -84,6 +122,25 @@ impl LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlt_crypto::codec::decode_exact;
+
+    #[test]
+    fn codec_round_trip_all_variants() {
+        for model in [
+            LatencyModel::Fixed(SimTime::from_millis(25)),
+            LatencyModel::lan(),
+            LatencyModel::wan(),
+        ] {
+            let bytes = model.encode_to_vec();
+            assert_eq!(bytes.len(), model.encoded_len());
+            let back: LatencyModel = decode_exact(&bytes).unwrap();
+            assert_eq!(back, model);
+        }
+        assert!(matches!(
+            decode_exact::<LatencyModel>(&[9]),
+            Err(DecodeError::InvalidTag(9))
+        ));
+    }
 
     #[test]
     fn fixed_is_constant() {
@@ -126,7 +183,9 @@ mod tests {
             sigma: 0.4,
         };
         let mut rng = SimRng::new(4);
-        let mut samples: Vec<u64> = (0..9999).map(|_| model.sample(&mut rng).as_micros()).collect();
+        let mut samples: Vec<u64> = (0..9999)
+            .map(|_| model.sample(&mut rng).as_micros())
+            .collect();
         samples.sort_unstable();
         let median = samples[samples.len() / 2] as f64 / 1000.0;
         assert!((median - 80.0).abs() < 5.0, "median {median}ms");

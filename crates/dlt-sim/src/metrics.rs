@@ -180,7 +180,7 @@ mod tests {
         assert_eq!(m.percentile("latency", 0.0), Some(1.0));
         assert_eq!(m.percentile("latency", 1.0), Some(5.0));
         let sd = m.std_dev("latency").unwrap();
-        assert!((sd - 1.4142).abs() < 1e-3);
+        assert!((sd - std::f64::consts::SQRT_2).abs() < 1e-3);
     }
 
     #[test]

@@ -9,21 +9,34 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
+use dlt_crypto::codec::{Decode, DecodeError, Encode};
 
 use crate::latency::LatencyModel;
 use crate::rng::SimRng;
 use crate::time::SimTime;
 
 /// Identifier of a simulated node (its index in the simulation).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub usize);
 
 impl std::fmt::Display for NodeId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "n{}", self.0)
+    }
+}
+
+impl Encode for NodeId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+impl Decode for NodeId {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(NodeId(usize::decode(input)?))
     }
 }
 
@@ -132,9 +145,7 @@ impl Network {
         }
         match &self.topology {
             None => true,
-            Some(adj) => adj
-                .get(from.0)
-                .is_some_and(|peers| peers.contains(&to)),
+            Some(adj) => adj.get(from.0).is_some_and(|peers| peers.contains(&to)),
         }
     }
 
@@ -142,10 +153,7 @@ impl Network {
     pub fn peers_of(&self, from: NodeId, node_count: usize) -> Vec<NodeId> {
         match &self.topology {
             Some(adj) => adj.get(from.0).cloned().unwrap_or_default(),
-            None => (0..node_count)
-                .map(NodeId)
-                .filter(|&n| n != from)
-                .collect(),
+            None => (0..node_count).map(NodeId).filter(|&n| n != from).collect(),
         }
     }
 
@@ -190,6 +198,16 @@ mod tests {
     }
 
     #[test]
+    fn node_id_codec_round_trip() {
+        for id in [NodeId(0), NodeId(7), NodeId(usize::MAX)] {
+            let bytes = id.encode_to_vec();
+            assert_eq!(bytes.len(), id.encoded_len());
+            let back: NodeId = dlt_crypto::codec::decode_exact(&bytes).unwrap();
+            assert_eq!(back, id);
+        }
+    }
+
+    #[test]
     fn full_mesh_reaches_everyone_but_self() {
         let n = net();
         assert!(n.can_reach(NodeId(0), NodeId(1)));
@@ -205,9 +223,9 @@ mod tests {
     fn explicit_topology_restricts_reachability() {
         let mut n = net();
         n.set_topology(vec![
-            vec![NodeId(1)],          // 0 -> 1
+            vec![NodeId(1)],            // 0 -> 1
             vec![NodeId(0), NodeId(2)], // 1 -> 0, 2
-            vec![],                   // 2 -> nobody
+            vec![],                     // 2 -> nobody
         ]);
         assert!(n.can_reach(NodeId(0), NodeId(1)));
         assert!(!n.can_reach(NodeId(0), NodeId(2)));

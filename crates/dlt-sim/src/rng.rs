@@ -12,20 +12,20 @@
 //! * [`SimRng::zipf`] — skewed account popularity (a few hot accounts
 //!   send most transactions, as on real ledgers).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use dlt_testkit::rng::{RngCore, Xoshiro256StarStar};
 
-/// A seeded deterministic random source.
+/// A seeded deterministic random source (xoshiro256**, seeded through
+/// SplitMix64 — see `dlt_testkit::rng`).
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256StarStar,
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256StarStar::seed_from_u64(seed),
         }
     }
 
@@ -33,22 +33,32 @@ impl SimRng {
     /// own stream so node-local randomness doesn't depend on event
     /// interleaving).
     pub fn fork(&mut self) -> SimRng {
-        SimRng::new(self.inner.gen())
+        SimRng::new(self.inner.next_u64())
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` (53-bit resolution).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Uniform integer in `[0, bound)`.
+    /// Uniform integer in `[0, bound)`, via Lemire's nearly-divisionless
+    /// unbiased range reduction.
     ///
     /// # Panics
     ///
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Widening-multiply rejection sampling: unbiased for any bound.
+        loop {
+            let x = self.inner.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let low = m as u64;
+            if low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+            // Rejected: x fell in the truncated remainder zone.
+        }
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -58,7 +68,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -109,7 +119,10 @@ impl SimRng {
     /// Panics if `median` is not positive and finite or `sigma` is
     /// negative.
     pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
-        assert!(median.is_finite() && median > 0.0, "median must be positive");
+        assert!(
+            median.is_finite() && median > 0.0,
+            "median must be positive"
+        );
         assert!(sigma >= 0.0, "sigma must be non-negative");
         median * (sigma * self.standard_normal()).exp()
     }
@@ -192,23 +205,84 @@ impl SimRng {
 }
 
 impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
     fn next_u64(&mut self) -> u64 {
         self.inner.next_u64()
     }
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
         self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pinned-seed regression: these exact outputs are part of the
+    /// workspace contract — every seeded experiment result depends on
+    /// them. If this test fails, the RNG changed and all recorded
+    /// experiment outputs are invalidated; do not update the constants
+    /// without that intent.
+    #[test]
+    fn pinned_seed_outputs_are_stable() {
+        let mut r = SimRng::new(42);
+        assert_eq!(
+            [r.next_u64(), r.next_u64(), r.next_u64(), r.next_u64()],
+            [
+                1546998764402558742,
+                6990951692964543102,
+                12544586762248559009,
+                17057574109182124193,
+            ]
+        );
+        let mut r = SimRng::new(42);
+        assert_eq!(
+            [r.unit(), r.unit(), r.unit()],
+            [0.08386297105988216, 0.3789802506626686, 0.6800434110281394]
+        );
+        let mut r = SimRng::new(42);
+        assert_eq!(
+            [
+                r.below(1000),
+                r.below(1000),
+                r.below(1000),
+                r.below(1000),
+                r.below(1000)
+            ],
+            [83, 378, 680, 924, 991]
+        );
+    }
+
+    /// Pinned-seed regression over the derived samplers: their
+    /// first two moments must stay within tight tolerances of the
+    /// distributions they claim to draw from.
+    #[test]
+    fn pinned_seed_sampler_moments_are_stable() {
+        const N: usize = 100_000;
+        fn moments(samples: impl Iterator<Item = f64>) -> (f64, f64) {
+            let all: Vec<f64> = samples.collect();
+            let mean = all.iter().sum::<f64>() / all.len() as f64;
+            let var = all.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / all.len() as f64;
+            (mean, var)
+        }
+
+        let mut r = SimRng::new(1234);
+        let (mean, var) = moments((0..N).map(|_| r.exponential(2.0)));
+        assert!((mean - 2.0).abs() < 0.05, "exponential mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "exponential variance {var}");
+
+        let mut r = SimRng::new(1234);
+        let (mean, var) = moments((0..N).map(|_| r.standard_normal()));
+        assert!(mean.abs() < 0.02, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "normal variance {var}");
+
+        let mut r = SimRng::new(1234);
+        let (mean, var) = moments((0..N).map(|_| r.poisson(4.0) as f64));
+        assert!((mean - 4.0).abs() < 0.05, "poisson mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "poisson variance {var}");
+    }
 
     #[test]
     fn deterministic_given_seed() {

@@ -1,0 +1,313 @@
+//! An `Instant`-based micro-benchmark harness (the `criterion`
+//! replacement).
+//!
+//! Bench binaries (`harness = false`) build a [`BenchSuite`], register
+//! routines with [`BenchSuite::bench`] / [`BenchSuite::bench_with_setup`],
+//! and call [`BenchSuite::finish`], which prints a fixed-width summary
+//! and writes machine-readable JSON to `results/bench_<suite>.json`.
+//!
+//! Methodology: each routine is warmed up, then timed over a fixed
+//! number of *samples*; each sample times a batch of iterations sized
+//! (by calibration) so one sample spans roughly a millisecond, which
+//! keeps `Instant` quantisation noise far below the signal. Reported
+//! statistics are per-iteration times: min, mean, median and p95 over
+//! samples.
+//!
+//! Environment overrides:
+//!
+//! * `DLT_BENCH_SAMPLES` — samples per routine (default 30).
+//! * `DLT_BENCH_WARMUP_MS` — warmup duration per routine (default 200).
+//! * `DLT_BENCH_SAMPLE_MS` — target duration of one sample (default 2).
+//! * `DLT_BENCH_DIR` — output directory for JSON (default `results`;
+//!   set to empty to skip writing).
+
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Statistics for one benchmarked routine, in nanoseconds per
+/// iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Routine name, e.g. `sha256/1024B`.
+    pub name: String,
+    /// Iterations per sample.
+    pub batch: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Median over samples.
+    pub median_ns: f64,
+    /// 95th percentile over samples.
+    pub p95_ns: f64,
+    /// Optional bytes processed per iteration (enables MB/s reporting).
+    pub throughput_bytes: Option<u64>,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name".to_string(), Json::string(self.name.clone())),
+            ("batch".to_string(), Json::number(self.batch as f64)),
+            ("samples".to_string(), Json::number(self.samples as f64)),
+            ("min_ns".to_string(), Json::number(self.min_ns)),
+            ("mean_ns".to_string(), Json::number(self.mean_ns)),
+            ("median_ns".to_string(), Json::number(self.median_ns)),
+            ("p95_ns".to_string(), Json::number(self.p95_ns)),
+        ];
+        if let Some(bytes) = self.throughput_bytes {
+            pairs.push(("bytes_per_iter".to_string(), Json::number(bytes as f64)));
+            pairs.push((
+                "mb_per_s".to_string(),
+                Json::number(bytes as f64 / self.median_ns * 1_000.0),
+            ));
+        }
+        Json::object(pairs)
+    }
+}
+
+/// Tuning knobs, resolved once from the environment.
+#[derive(Debug, Clone)]
+struct BenchConfig {
+    samples: usize,
+    warmup: Duration,
+    target_sample: Duration,
+}
+
+impl BenchConfig {
+    fn from_env() -> Self {
+        let ms = |name: &str, default: u64| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(default)
+        };
+        BenchConfig {
+            samples: ms("DLT_BENCH_SAMPLES", 30) as usize,
+            warmup: Duration::from_millis(ms("DLT_BENCH_WARMUP_MS", 200)),
+            target_sample: Duration::from_millis(ms("DLT_BENCH_SAMPLE_MS", 2)),
+        }
+    }
+}
+
+/// A named collection of benchmark routines.
+#[derive(Debug)]
+pub struct BenchSuite {
+    name: String,
+    config: BenchConfig,
+    results: Vec<BenchResult>,
+    pending_throughput: Option<u64>,
+}
+
+impl BenchSuite {
+    /// Creates a suite. `name` becomes the JSON file stem.
+    pub fn new(name: &str) -> Self {
+        eprintln!("bench suite '{name}'");
+        BenchSuite {
+            name: name.to_string(),
+            config: BenchConfig::from_env(),
+            results: Vec::new(),
+            pending_throughput: None,
+        }
+    }
+
+    /// Declares that the *next* registered routine processes this many
+    /// bytes per iteration (adds MB/s to its report).
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.pending_throughput = Some(bytes);
+        self
+    }
+
+    /// Benchmarks a routine.
+    pub fn bench<T>(&mut self, name: &str, mut routine: impl FnMut() -> T) -> &mut Self {
+        // Calibrate the batch size so one sample hits the target span.
+        let calibrate_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = calibrate_start.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (self.config.target_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        // Warmup.
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < self.config.warmup {
+            std::hint::black_box(routine());
+        }
+
+        // Timed samples.
+        let mut per_iter_ns = Vec::with_capacity(self.config.samples);
+        for _ in 0..self.config.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.record(name, batch, per_iter_ns);
+        self
+    }
+
+    /// Benchmarks a routine whose per-iteration setup must not be
+    /// timed (the `criterion` `iter_with_setup` shape). The batch size
+    /// is fixed at 1; timing covers only `routine`.
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) -> &mut Self {
+        // Warmup.
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < self.config.warmup {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut per_iter_ns = Vec::with_capacity(self.config.samples);
+        for _ in 0..self.config.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            per_iter_ns.push(start.elapsed().as_nanos() as f64);
+        }
+        self.record(name, 1, per_iter_ns);
+        self
+    }
+
+    fn record(&mut self, name: &str, batch: u64, mut per_iter_ns: Vec<f64>) {
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let samples = per_iter_ns.len();
+        let min_ns = per_iter_ns.first().copied().unwrap_or(0.0);
+        let mean_ns = per_iter_ns.iter().sum::<f64>() / samples.max(1) as f64;
+        let median_ns = per_iter_ns.get(samples / 2).copied().unwrap_or(0.0);
+        let p95_index = ((samples as f64 * 0.95) as usize).min(samples.saturating_sub(1));
+        let p95_ns = per_iter_ns.get(p95_index).copied().unwrap_or(0.0);
+        let result = BenchResult {
+            name: name.to_string(),
+            batch,
+            samples,
+            min_ns,
+            mean_ns,
+            median_ns,
+            p95_ns,
+            throughput_bytes: self.pending_throughput.take(),
+        };
+        let throughput = result
+            .throughput_bytes
+            .map(|b| format!("  {:8.1} MB/s", b as f64 / result.median_ns * 1_000.0))
+            .unwrap_or_default();
+        eprintln!(
+            "  {:<32} median {}  p95 {}  min {}{throughput}",
+            result.name,
+            format_ns(result.median_ns),
+            format_ns(result.p95_ns),
+            format_ns(result.min_ns),
+        );
+        self.results.push(result);
+    }
+
+    /// Finishes the suite: writes `results/bench_<name>.json` (or the
+    /// `DLT_BENCH_DIR` override) and returns the collected results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        let dir = std::env::var("DLT_BENCH_DIR").unwrap_or_else(|_| "results".to_string());
+        if !dir.is_empty() {
+            let doc = Json::object([
+                ("suite".to_string(), Json::string(self.name.clone())),
+                (
+                    "results".to_string(),
+                    Json::Array(self.results.iter().map(BenchResult::to_json).collect()),
+                ),
+            ]);
+            let path = std::path::Path::new(&dir).join(format!("bench_{}.json", self.name));
+            match std::fs::create_dir_all(&dir)
+                .and_then(|()| std::fs::write(&path, doc.to_string()))
+            {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+            }
+        }
+        self.results
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:7.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:7.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:7.2} ms", ns / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_suite(name: &str) -> BenchSuite {
+        BenchSuite {
+            name: name.to_string(),
+            config: BenchConfig {
+                samples: 5,
+                warmup: Duration::from_millis(1),
+                target_sample: Duration::from_micros(50),
+            },
+            results: Vec::new(),
+            pending_throughput: None,
+        }
+    }
+
+    #[test]
+    fn bench_produces_ordered_stats() {
+        let mut suite = fast_suite("unit");
+        suite.bench("sum", || (0..100u64).sum::<u64>());
+        let results = suite.results.clone();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p95_ns + f64::EPSILON);
+        assert!(r.batch >= 1);
+        assert_eq!(r.samples, 5);
+    }
+
+    #[test]
+    fn bench_with_setup_excludes_setup() {
+        let mut suite = fast_suite("unit2");
+        suite.bench_with_setup(
+            "consume-vec",
+            || vec![1u64; 64],
+            |v| v.into_iter().sum::<u64>(),
+        );
+        assert_eq!(suite.results.len(), 1);
+        assert_eq!(suite.results[0].batch, 1);
+    }
+
+    #[test]
+    fn throughput_attaches_to_next_routine_only() {
+        let mut suite = fast_suite("unit3");
+        suite.throughput_bytes(1024);
+        suite.bench("first", || 1u64 + 1);
+        suite.bench("second", || 2u64 + 2);
+        assert_eq!(suite.results[0].throughput_bytes, Some(1024));
+        assert_eq!(suite.results[1].throughput_bytes, None);
+    }
+
+    #[test]
+    fn json_shape_is_parseable() {
+        let result = BenchResult {
+            name: "x".into(),
+            batch: 10,
+            samples: 3,
+            min_ns: 1.0,
+            mean_ns: 2.0,
+            median_ns: 2.0,
+            p95_ns: 3.0,
+            throughput_bytes: Some(64),
+        };
+        let text = result.to_json().to_string();
+        let doc = crate::json::parse(&text).unwrap();
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("x"));
+        assert!(doc.get("mb_per_s").is_some());
+    }
+}

@@ -27,7 +27,9 @@ fn main() {
     // fee-free, co-signed off-chain.
     for cup in 1..=90u32 {
         let update = channel.pay_a_to_b(3).expect("prepaid balance covers it");
-        network.apply_update(&update).expect("both signatures valid");
+        network
+            .apply_update(&update)
+            .expect("both signatures valid");
         if cup % 30 == 0 {
             let state = network.channel(channel.id).expect("open");
             println!(

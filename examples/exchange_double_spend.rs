@@ -70,7 +70,11 @@ fn blockchain_attack() {
                 gas_limit: 0,
                 proposer: Address::ZERO,
             },
-            vec![UtxoTx::coinbase(height, 50, Address::from_label("attacker-miner"))],
+            vec![UtxoTx::coinbase(
+                height,
+                50,
+                Address::from_label("attacker-miner"),
+            )],
         )
     };
     let a1 = empty(genesis_id, 1, 700_000_000);
@@ -136,15 +140,27 @@ fn dag_attack() {
 
     // Representatives vote with their delegated weight (§III-B).
     let mut election = Election::new();
-    election.vote(genesis.address(), lattice.weight(&genesis.address()), deposit_hash);
-    election.vote(attacker.address(), lattice.weight(&attacker.address()), clawback.hash());
+    election.vote(
+        genesis.address(),
+        lattice.weight(&genesis.address()),
+        deposit_hash,
+    );
+    election.vote(
+        attacker.address(),
+        lattice.weight(&attacker.address()),
+        clawback.hash(),
+    );
     let (winner, weight) = election.leader().expect("votes cast");
     println!(
         "vote: honest weight {} vs attacker weight {} -> winner {} ({})",
         lattice.weight(&genesis.address()),
         lattice.weight(&attacker.address()),
         winner.short(),
-        if winner == deposit_hash { "deposit stands" } else { "clawback wins" },
+        if winner == deposit_hash {
+            "deposit stands"
+        } else {
+            "clawback wins"
+        },
     );
     assert_eq!(winner, deposit_hash);
     let _ = weight;

@@ -55,7 +55,10 @@ fn main() {
         1,
     );
 
-    println!("identical workload: {} TPS offered for 90 s, then 90 s drain\n", config.offered_tps);
+    println!(
+        "identical workload: {} TPS offered for 90 s, then 90 s drain\n",
+        config.offered_tps
+    );
     println!(
         "{:<14} {:>9} {:>10} {:>8} {:>12} {:>10} {:>8}",
         "ledger", "confirmed", "TPS", "backlog", "ledger bytes", "bytes/tx", "blocks"

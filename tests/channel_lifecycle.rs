@@ -91,7 +91,9 @@ fn forced_close_with_challenge_across_layers() {
         .close_forced(pair.id, pair.party_b(), &mid, 10_000)
         .expect("valid post");
     // A challenges with the newest co-signed state inside the window.
-    let settlement = network.challenge(pair.id, &final_state, 5_000).expect("in window");
+    let settlement = network
+        .challenge(pair.id, &final_state, 5_000)
+        .expect("in window");
     // Cheater (B) forfeits everything.
     assert_eq!(settlement.payout_b.1, 0);
     assert_eq!(settlement.payout_a.1, 1_000);

@@ -72,8 +72,7 @@ fn reports_are_internally_consistent_everywhere() {
     let mut bitcoin = bitcoin();
     let mut ethereum = ethereum();
     let mut nano = nano();
-    let ledgers: Vec<&mut dyn DistributedLedger> =
-        vec![&mut bitcoin, &mut ethereum, &mut nano];
+    let ledgers: Vec<&mut dyn DistributedLedger> = vec![&mut bitcoin, &mut ethereum, &mut nano];
     for ledger in ledgers {
         let name = ledger.name();
         let report = run_workload(ledger, &cfg);

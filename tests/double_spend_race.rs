@@ -81,22 +81,24 @@ fn attacker_wins(seed: u64, attacker_share: f64, secret_secs: u64) -> bool {
         .collect::<Vec<_>>();
     for block in branch.into_iter().skip(1) {
         for honest in 0..honest_nodes {
-            sim.deliver_at(sim.now(), attacker, NodeId(honest), NetMsg::Block(block.clone()));
+            sim.deliver_at(
+                sim.now(),
+                attacker,
+                NodeId(honest),
+                NetMsg::Block(block.clone()),
+            );
         }
     }
     sim.run_until_idle(sim.now() + SimTime::from_secs(30));
 
     let honest_tip_after = sim.node(NodeId(0)).chain().tip();
-    
-    honest_tip_after != honest_tip_before
-        && attacker_height > honest_height
+
+    honest_tip_after != honest_tip_before && attacker_height > honest_height
 }
 
 #[test]
 fn minority_attacker_rarely_wins() {
-    let wins = (0..12)
-        .filter(|i| attacker_wins(100 + i, 0.2, 60))
-        .count();
+    let wins = (0..12).filter(|i| attacker_wins(100 + i, 0.2, 60)).count();
     assert!(
         wins <= 2,
         "a 20% attacker displaced a 60s-confirmed chain {wins}/12 times"
@@ -105,9 +107,7 @@ fn minority_attacker_rarely_wins() {
 
 #[test]
 fn majority_attacker_usually_wins() {
-    let wins = (0..12)
-        .filter(|i| attacker_wins(200 + i, 0.75, 60))
-        .count();
+    let wins = (0..12).filter(|i| attacker_wins(200 + i, 0.75, 60)).count();
     assert!(
         wins >= 9,
         "a 75% attacker only displaced the chain {wins}/12 times"
@@ -119,7 +119,9 @@ fn longer_wait_lowers_minority_success() {
     // Same attacker share; the honest chain's head start grows with the
     // wait, so successes must not increase.
     let short_wins = (0..10).filter(|i| attacker_wins(300 + i, 0.35, 15)).count();
-    let long_wins = (0..10).filter(|i| attacker_wins(400 + i, 0.35, 120)).count();
+    let long_wins = (0..10)
+        .filter(|i| attacker_wins(400 + i, 0.35, 120))
+        .count();
     assert!(
         long_wins <= short_wins,
         "longer confirmation wait increased attack success ({short_wins} -> {long_wins})"

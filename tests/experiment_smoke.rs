@@ -1,0 +1,133 @@
+//! Smoke coverage for the e01–e17 experiment binaries.
+//!
+//! Runs every experiment with `DLT_SMOKE=1` (tiny parameters) through
+//! `cargo run --offline`, asserting each exits 0 and writes a valid,
+//! non-empty JSON report via `DLT_JSON_OUT`. A separate test runs
+//! `e09_throughput` twice with its fixed seed and requires
+//! byte-identical stdout and JSON — the workspace-wide determinism
+//! guarantee CI leans on.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use dlt_testkit::json;
+
+/// Every experiment binary with the banner id its report must carry.
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("e01_structures", "e01"),
+    ("e02_lattice", "e02"),
+    ("e03_settlement", "e03"),
+    ("e04_forks", "e04"),
+    ("e05_confidence", "e05"),
+    ("e06_dag_confirm", "e06"),
+    ("e07_ledger_size", "e07"),
+    ("e08_pruning", "e08"),
+    ("e09_throughput", "e09"),
+    ("e10_consensus", "e10"),
+    ("e11_blocksize", "e11"),
+    ("e12_channels", "e12"),
+    ("e13_sharding", "e13"),
+    ("e14_retarget", "e14"),
+    ("e15_energy", "e15"),
+    ("e16_plasma", "e16"),
+    ("e17_tangle", "e17"),
+];
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests/ lives under the workspace root")
+        .to_path_buf()
+}
+
+/// Runs one experiment binary in smoke mode, returning its stdout and
+/// the JSON report it wrote.
+fn run_experiment(bin: &str, tag: &str) -> (String, String) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let json_out =
+        std::env::temp_dir().join(format!("dlt_smoke_{bin}_{tag}_{}.json", std::process::id()));
+    let output = Command::new(cargo)
+        .current_dir(workspace_root())
+        .args([
+            "run",
+            "--quiet",
+            "--offline",
+            "-p",
+            "dlt-bench",
+            "--bin",
+            bin,
+        ])
+        .env("DLT_SMOKE", "1")
+        .env("DLT_JSON_OUT", &json_out)
+        .output()
+        .expect("spawn cargo run");
+    assert!(
+        output.status.success(),
+        "{bin} failed with {:?}:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("stdout is UTF-8");
+    let report = std::fs::read_to_string(&json_out)
+        .unwrap_or_else(|err| panic!("{bin} wrote no JSON report: {err}"));
+    std::fs::remove_file(&json_out).ok();
+    (stdout, report)
+}
+
+fn assert_valid_report(bin: &str, id: &str, report: &str) {
+    let parsed =
+        json::parse(report).unwrap_or_else(|err| panic!("{bin} report is not valid JSON: {err}"));
+    assert_eq!(
+        parsed.get("id").and_then(|v| v.as_str()),
+        Some(id),
+        "{bin} report carries the wrong experiment id"
+    );
+    let tables = parsed
+        .get("tables")
+        .and_then(|v| v.as_array())
+        .unwrap_or_else(|| panic!("{bin} report has no tables array"));
+    assert!(!tables.is_empty(), "{bin} captured no tables");
+    for table in tables {
+        let headers = table
+            .get("headers")
+            .and_then(|v| v.as_array())
+            .expect("table has headers");
+        let rows = table
+            .get("rows")
+            .and_then(|v| v.as_array())
+            .expect("table has rows");
+        for row in rows {
+            assert_eq!(
+                row.as_array().expect("row is an array").len(),
+                headers.len(),
+                "{bin} row arity drifted from its header"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_experiment_exits_zero_with_a_valid_json_report() {
+    for &(bin, id) in EXPERIMENTS {
+        let (stdout, report) = run_experiment(bin, "a");
+        assert!(
+            stdout.contains(&format!("{id}:")),
+            "{bin} stdout is missing its banner"
+        );
+        assert_valid_report(bin, id, &report);
+    }
+}
+
+#[test]
+fn e09_throughput_is_byte_deterministic_across_runs() {
+    let (stdout_first, report_first) = run_experiment("e09_throughput", "b");
+    let (stdout_second, report_second) = run_experiment("e09_throughput", "c");
+    assert_eq!(
+        stdout_first, stdout_second,
+        "e09 stdout differs between seeded runs"
+    );
+    assert_eq!(
+        report_first, report_second,
+        "e09 JSON differs between seeded runs"
+    );
+}

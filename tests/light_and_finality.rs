@@ -16,8 +16,7 @@ use dlt_dag::prune::{ledger_size, NodeRole};
 #[test]
 fn spv_client_tracks_archival_node_and_verifies_payments() {
     let mut wallet = dlt_blockchain::utxo::Wallet::new(1);
-    let allocations: Vec<(Address, u64)> =
-        (0..10).map(|_| (wallet.new_address(), 5_000)).collect();
+    let allocations: Vec<(Address, u64)> = (0..10).map(|_| (wallet.new_address(), 5_000)).collect();
     let mut chain = BitcoinChain::new(BitcoinParams::default(), &allocations);
     let genesis_header = chain
         .chain()

@@ -125,11 +125,25 @@ fn dag_partition_with_disjoint_accounts_merges_cleanly() {
         .partition(4, &[&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]]);
 
     // Each side's account transacts independently.
-    let left_send = left_account.send(Address::from_label("left-shop"), 10).unwrap();
-    let right_send = right_account.send(Address::from_label("right-shop"), 20).unwrap();
+    let left_send = left_account
+        .send(Address::from_label("left-shop"), 10)
+        .unwrap();
+    let right_send = right_account
+        .send(Address::from_label("right-shop"), 20)
+        .unwrap();
     let (lh, rh) = (left_send.hash(), right_send.hash());
-    sim.deliver_at(SimTime::from_millis(1), NodeId(0), NodeId(0), DagMsg::Publish(left_send));
-    sim.deliver_at(SimTime::from_millis(1), NodeId(2), NodeId(2), DagMsg::Publish(right_send));
+    sim.deliver_at(
+        SimTime::from_millis(1),
+        NodeId(0),
+        NodeId(0),
+        DagMsg::Publish(left_send),
+    );
+    sim.deliver_at(
+        SimTime::from_millis(1),
+        NodeId(2),
+        NodeId(2),
+        DagMsg::Publish(right_send),
+    );
     sim.run_until_idle(SimTime::from_secs(10));
 
     // Each side has only its own block.
@@ -143,8 +157,18 @@ fn dag_partition_with_disjoint_accounts_merges_cleanly() {
     let left_block = sim.node(NodeId(0)).lattice().block(&lh).unwrap().clone();
     let right_block = sim.node(NodeId(2)).lattice().block(&rh).unwrap().clone();
     for i in 0..4 {
-        sim.deliver_at(sim.now(), NodeId(0), NodeId(i), DagMsg::Publish(left_block.clone()));
-        sim.deliver_at(sim.now(), NodeId(2), NodeId(i), DagMsg::Publish(right_block.clone()));
+        sim.deliver_at(
+            sim.now(),
+            NodeId(0),
+            NodeId(i),
+            DagMsg::Publish(left_block.clone()),
+        );
+        sim.deliver_at(
+            sim.now(),
+            NodeId(2),
+            NodeId(i),
+            DagMsg::Publish(right_block.clone()),
+        );
     }
     sim.run_until_idle(sim.now() + SimTime::from_secs(10));
 

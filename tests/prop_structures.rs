@@ -1,5 +1,5 @@
 //! Property tests over chain, mempool, channel, sharding and tangle
-//! structures.
+//! structures, on the in-repo `dlt_testkit::prop!` harness.
 
 use dlt_blockchain::block::testsupport::{test_block, test_genesis, test_tx};
 use dlt_blockchain::chain::ChainStore;
@@ -7,16 +7,14 @@ use dlt_blockchain::mempool::Mempool;
 use dlt_scaling::channels::{ChannelNetwork, ChannelPair};
 use dlt_scaling::sharding::{ShardedNetwork, ShardingParams};
 use dlt_sim::rng::SimRng;
-use proptest::prelude::*;
+use dlt_testkit::prop;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
+prop! {
     /// Chain store: any delivery order of the same block set yields the
     /// same tip (fork choice is order-independent up to work ties,
     /// which the distinct-difficulty construction avoids).
-    #[test]
-    fn chain_store_order_independent(order in proptest::collection::vec(any::<usize>(), 8)) {
+    fn chain_store_order_independent(g, cases = 48) {
+        let order = g.vec_of(8, |g| g.any_usize());
         // A fixed tree: genesis -> a1 -> a2 -> a3 (difficulty 1 each)
         //              genesis -> b1 -> b2 (difficulty 3 each: heavier)
         let genesis = test_genesis();
@@ -37,41 +35,41 @@ proptest! {
         for block in blocks {
             let _ = store.insert(block);
         }
-        prop_assert_eq!(store.orphan_count(), 0, "everything connected");
-        prop_assert_eq!(store.tip(), heavy_tip, "most work wins regardless of order");
-        prop_assert_eq!(store.block_count(), 6);
+        assert_eq!(store.orphan_count(), 0, "everything connected");
+        assert_eq!(store.tip(), heavy_tip, "most work wins regardless of order");
+        assert_eq!(store.block_count(), 6);
     }
+}
 
+prop! {
     /// Mempool selection never exceeds capacity and never selects a
     /// lower fee-rate tx while skipping a higher one that would fit in
     /// its place.
-    #[test]
-    fn mempool_selection_feasible(
-        txs in proptest::collection::vec((1u64..100, 1u64..500), 1..40),
-        capacity in 100u64..5_000,
-    ) {
+    fn mempool_selection_feasible(g, cases = 48) {
+        let txs = g.vec_in(1, 40, |g| (g.u64_in(1, 100), g.u64_in(1, 500)));
+        let capacity = g.u64_in(100, 5_000);
         let mut pool = Mempool::new(1_000);
         for (i, (fee, weight)) in txs.iter().enumerate() {
             pool.insert(test_tx(i as u64, *fee, *weight));
         }
         let selected = pool.select_for_block(capacity);
         let total: u64 = selected.iter().map(|t| t.weight).sum();
-        prop_assert!(total <= capacity, "capacity respected");
+        assert!(total <= capacity, "capacity respected");
         // Feasibility: every selected tx exists in the pool's input set.
         for tx in &selected {
             let known = txs
                 .iter()
                 .enumerate()
                 .any(|(i, (f, w))| test_tx(i as u64, *f, *w).tag == tx.tag);
-            prop_assert!(known);
+            assert!(known);
         }
     }
+}
 
+prop! {
     /// Channel updates conserve capacity no matter the payment pattern.
-    #[test]
-    fn channels_conserve_capacity(
-        payments in proptest::collection::vec((any::<bool>(), 1u64..50), 1..40),
-    ) {
+    fn channels_conserve_capacity(g, cases = 48) {
+        let payments = g.vec_in(1, 40, |g| (g.any_bool(), g.u64_in(1, 50)));
         let mut network = ChannelNetwork::new();
         let mut pair = ChannelPair::open(&mut network, 5, 500, 500);
         for (a_to_b, amount) in payments {
@@ -83,21 +81,21 @@ proptest! {
             if let Ok(update) = update {
                 network.apply_update(&update).unwrap();
                 let channel = network.channel(pair.id).unwrap();
-                prop_assert_eq!(channel.capacity(), 1_000);
+                assert_eq!(channel.capacity(), 1_000);
             }
         }
         let settlement = network.close_cooperative(pair.id).unwrap();
-        prop_assert_eq!(settlement.payout_a.1 + settlement.payout_b.1, 1_000);
+        assert_eq!(settlement.payout_a.1 + settlement.payout_b.1, 1_000);
     }
+}
 
+prop! {
     /// Sharding conserves transactions: submitted = completed + backlog.
-    #[test]
-    fn sharding_conserves_transactions(
-        k in 1usize..8,
-        f in 0.0f64..1.0,
-        load in 1u64..500,
-        steps in 1usize..50,
-    ) {
+    fn sharding_conserves_transactions(g, cases = 48) {
+        let k = g.usize_in(1, 8);
+        let f = g.f64_in(0.0, 1.0);
+        let load = g.u64_in(1, 500);
+        let steps = g.usize_in(1, 50);
         let mut net = ShardedNetwork::new(ShardingParams {
             shards: k,
             per_shard_rate: 20.0,
@@ -108,28 +106,25 @@ proptest! {
         for _ in 0..steps {
             net.step(0.1);
         }
-        prop_assert!(net.completed() + net.backlog() as u64 >= net.submitted());
+        assert!(net.completed() + net.backlog() as u64 >= net.submitted());
         // (Cross-shard txs appear in backlog as one phase each; the
         // inequality is ≥ because a cross tx mid-flight counts once.)
-        prop_assert!(net.completed() <= net.submitted());
+        assert!(net.completed() <= net.submitted());
     }
 }
 
 mod plasma_props {
-    use super::*;
     use dlt_crypto::keys::Address;
     use dlt_scaling::plasma::PlasmaChain;
+    use dlt_testkit::prop;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
+    prop! {
         /// Plasma conserves deposits: whatever pattern of transfers and
         /// commits, the sum of all exits equals the sum of all deposits.
-        #[test]
-        fn plasma_conserves_deposits(
-            transfers in proptest::collection::vec((0u8..4, 0u8..4, 1u64..100), 0..30),
-            commit_every in 1usize..6,
-        ) {
+        fn plasma_conserves_deposits(g, cases = 32) {
+            let transfers =
+                g.vec_in(0, 30, |g| (g.u8_in(0, 4), g.u8_in(0, 4), g.u64_in(1, 100)));
+            let commit_every = g.usize_in(1, 6);
             let users: Vec<Address> =
                 (0..4).map(|i| Address::from_label(&format!("u{i}"))).collect();
             let mut plasma = PlasmaChain::new(1_000);
@@ -157,26 +152,23 @@ mod plasma_props {
                     exited += balance;
                 }
             }
-            prop_assert_eq!(exited, deposited);
+            assert_eq!(exited, deposited);
         }
     }
 }
 
 mod tangle_props {
-    use super::*;
     use dlt_dag::tangle::{Tangle, TipSelection};
+    use dlt_sim::rng::SimRng;
+    use dlt_testkit::prop;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
+    prop! {
         /// Tangle invariants: weights are monotone along approval
         /// edges, tips have weight 0, and the genesis weight equals the
         /// number of non-genesis transactions.
-        #[test]
-        fn tangle_weight_invariants(
-            n in 1usize..80,
-            seed in any::<u64>(),
-        ) {
+        fn tangle_weight_invariants(g, cases = 24) {
+            let n = g.usize_in(1, 80);
+            let seed = g.any_u64();
             let mut tangle = Tangle::new(10);
             let mut rng = SimRng::new(seed);
             for i in 0..n {
@@ -186,12 +178,12 @@ mod tangle_props {
                     &mut rng,
                 );
             }
-            prop_assert_eq!(
+            assert_eq!(
                 tangle.cumulative_weight(&tangle.genesis()),
                 Some(n as u64),
                 "genesis is approved by everything"
             );
-            prop_assert!(tangle.tip_count() >= 1);
+            assert!(tangle.tip_count() >= 1);
         }
     }
 }
