@@ -1,0 +1,351 @@
+//! Engine hot-path benchmark: the refactored simulation substrate vs
+//! a faithful reimplementation of the pre-refactor engine
+//! (`cargo bench --bench engine`).
+//!
+//! The scenario is the regime the refactor targets: a 64-node
+//! broadcast-heavy flood gossip with ~2 KiB payloads, where the old
+//! engine deep-cloned the message once per scheduled delivery and
+//! allocated a `String` per metric update. The legacy engine here is
+//! deliberately *not* the current code with features toggled off — it
+//! reproduces the seed's actual shapes (owned `M` per event,
+//! `BTreeMap<String, _>` metrics keyed by `name.to_string()`,
+//! full-sort percentile) on top of the same `Network`/`SimRng`, so
+//! both sides process the identical event sequence.
+//!
+//! Besides the suite's usual `results/bench_sim.json`, this bench
+//! writes `BENCH_sim.json` with the legacy/current medians and the
+//! speedup — the repo's benchmark trajectory record.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use dlt_sim::engine::{Context, Payload, SimNode, Simulation};
+use dlt_sim::latency::LatencyModel;
+use dlt_sim::metrics::{CounterId, Metrics, SeriesId};
+use dlt_sim::network::{Network, NodeId};
+use dlt_sim::rng::SimRng;
+use dlt_sim::time::SimTime;
+use dlt_testkit::bench::BenchSuite;
+use dlt_testkit::json::Json;
+
+const NODES: usize = 64;
+const ROOTS: u32 = 4;
+const PAYLOAD_BYTES: usize = 2048;
+const SEED: u64 = 64;
+
+fn latency() -> LatencyModel {
+    LatencyModel::LogNormal {
+        median: SimTime::from_millis(50),
+        sigma: 0.3,
+    }
+}
+
+fn gossip(id: u32) -> Gossip {
+    Gossip {
+        id,
+        data: vec![id as u8; PAYLOAD_BYTES],
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Gossip {
+    id: u32,
+    data: Vec<u8>,
+}
+
+// --- The pre-refactor engine, reproduced ---------------------------------
+
+/// Seed-style metrics: every update interns the name again.
+#[derive(Default)]
+struct LegacyMetrics {
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl LegacyMetrics {
+    fn inc(&mut self, name: &str) {
+        *self.counters.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    fn record(&mut self, name: &str, value: f64) {
+        self.series.entry(name.to_string()).or_default().push(value);
+    }
+
+    fn count(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Seed-style percentile: clone and fully re-sort the series on
+    /// every query.
+    fn percentile(&self, name: &str, q: f64) -> Option<f64> {
+        let samples = self.series.get(name)?;
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
+enum LegacyEvent {
+    Deliver {
+        to: NodeId,
+        msg: Gossip, // owned: one deep clone per scheduled delivery
+    },
+}
+
+struct LegacyScheduled {
+    at: SimTime,
+    seq: u64,
+    event: LegacyEvent,
+}
+
+impl PartialEq for LegacyScheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for LegacyScheduled {}
+impl PartialOrd for LegacyScheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LegacyScheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct LegacyCore {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<LegacyScheduled>,
+    network: Network,
+    rng: SimRng,
+    metrics: LegacyMetrics,
+    node_count: usize,
+}
+
+impl LegacyCore {
+    fn schedule(&mut self, at: SimTime, event: LegacyEvent) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(LegacyScheduled { at, seq, event });
+    }
+
+    fn send_from(&mut self, from: NodeId, to: NodeId, msg: &Gossip) {
+        for delay in self.network.deliveries(from, to, &mut self.rng) {
+            self.metrics.inc("net.messages");
+            self.schedule(
+                self.now.saturating_add(delay),
+                LegacyEvent::Deliver {
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+
+    fn broadcast_from(&mut self, from: NodeId, msg: &Gossip) {
+        for to in self.network.peers_of(from, self.node_count) {
+            self.send_from(from, to, msg);
+        }
+    }
+}
+
+struct LegacyFlood {
+    seen: Vec<bool>,
+}
+
+fn run_legacy() -> (u64, f64) {
+    let mut core = LegacyCore {
+        now: SimTime::ZERO,
+        seq: 0,
+        queue: BinaryHeap::new(),
+        network: Network::new(latency()),
+        rng: SimRng::new(SEED),
+        metrics: LegacyMetrics::default(),
+        node_count: NODES,
+    };
+    let mut nodes: Vec<LegacyFlood> = (0..NODES)
+        .map(|_| LegacyFlood {
+            seen: vec![false; ROOTS as usize],
+        })
+        .collect();
+    for root in 0..ROOTS {
+        core.schedule(
+            SimTime::from_millis(u64::from(root)),
+            LegacyEvent::Deliver {
+                to: NodeId(root as usize),
+                msg: gossip(root),
+            },
+        );
+    }
+    while let Some(scheduled) = core.queue.pop() {
+        core.now = scheduled.at;
+        let LegacyEvent::Deliver { to, msg } = scheduled.event;
+        let node = &mut nodes[to.0];
+        if !node.seen[msg.id as usize] {
+            node.seen[msg.id as usize] = true;
+            core.metrics.inc("gossip.relayed");
+            core.metrics.record("gossip.bytes", msg.data.len() as f64);
+            core.broadcast_from(to, &msg);
+        }
+    }
+    let p99 = core.metrics.percentile("gossip.bytes", 0.99).unwrap_or(0.0);
+    (core.metrics.count("net.messages"), p99)
+}
+
+// --- The same scenario on the refactored engine --------------------------
+
+#[derive(Clone, Copy)]
+struct FloodMetrics {
+    relayed: CounterId,
+    bytes: SeriesId,
+}
+
+struct Flood {
+    seen: Vec<bool>,
+    metrics: Option<FloodMetrics>,
+}
+
+impl SimNode<Gossip> for Flood {
+    fn on_start(&mut self, ctx: &mut Context<'_, Gossip>) {
+        self.metrics = Some(FloodMetrics {
+            relayed: ctx.metrics().counter("gossip.relayed"),
+            bytes: ctx.metrics().series("gossip.bytes"),
+        });
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Gossip>, _from: NodeId, msg: Payload<Gossip>) {
+        if !self.seen[msg.id as usize] {
+            self.seen[msg.id as usize] = true;
+            let m = self.metrics.expect("registered in on_start");
+            ctx.metrics().inc(m.relayed);
+            ctx.metrics().record(m.bytes, msg.data.len() as f64);
+            ctx.broadcast(msg);
+        }
+    }
+}
+
+fn run_current() -> (u64, f64) {
+    let mut sim: Simulation<Gossip, Flood> = Simulation::new(SEED, latency());
+    for _ in 0..NODES {
+        sim.add_node(Flood {
+            seen: vec![false; ROOTS as usize],
+            metrics: None,
+        });
+    }
+    for root in 0..ROOTS {
+        sim.deliver_at(
+            SimTime::from_millis(u64::from(root)),
+            NodeId(root as usize),
+            NodeId(root as usize),
+            gossip(root),
+        );
+    }
+    sim.run_until_idle(SimTime::MAX);
+    let p99 = sim
+        .metrics()
+        .percentile("gossip.bytes", 0.99)
+        .unwrap_or(0.0);
+    (sim.metrics().count("net.messages"), p99)
+}
+
+// --- Metric-primitive micro-benches --------------------------------------
+
+fn bench_metrics(suite: &mut BenchSuite) {
+    let mut legacy = LegacyMetrics::default();
+    suite.bench("metrics_inc/string_keyed", move || {
+        legacy.inc("net.messages");
+        legacy.count("net.messages")
+    });
+
+    let mut metrics = Metrics::new();
+    let id = metrics.counter("net.messages");
+    suite.bench("metrics_inc/typed_handle", move || {
+        metrics.inc(id);
+        metrics.counter_value(id)
+    });
+
+    let samples: Vec<f64> = (0..10_000)
+        .map(|i| ((i * 2_654_435_761_u64) % 10_007) as f64)
+        .collect();
+    let mut legacy = LegacyMetrics::default();
+    for &s in &samples {
+        legacy.record("lat", s);
+    }
+    suite.bench("percentile_10k/full_resort", move || {
+        legacy.percentile("lat", 0.99)
+    });
+
+    let mut metrics = Metrics::new();
+    let lat = metrics.series("lat");
+    for &s in &samples {
+        metrics.record(lat, s);
+    }
+    suite.bench("percentile_10k/histogram", move || {
+        metrics.percentile("lat", 0.99)
+    });
+}
+
+fn main() {
+    // Sanity: both engines must process the identical event sequence.
+    let legacy = run_legacy();
+    let current = run_current();
+    assert_eq!(
+        legacy, current,
+        "legacy and refactored engines diverged on the benchmark scenario"
+    );
+    eprintln!(
+        "scenario: {NODES}-node flood, {ROOTS} roots x {PAYLOAD_BYTES} B -> {} deliveries",
+        legacy.0
+    );
+
+    let mut suite = BenchSuite::new("sim");
+    suite.bench_with_setup("broadcast64/legacy", || (), |()| run_legacy());
+    suite.bench_with_setup("broadcast64/current", || (), |()| run_current());
+    bench_metrics(&mut suite);
+    let results = suite.finish();
+
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+            .expect("bench ran")
+    };
+    let legacy_ns = median("broadcast64/legacy");
+    let current_ns = median("broadcast64/current");
+    let speedup = legacy_ns / current_ns;
+    eprintln!(
+        "broadcast64 median: legacy {:.2} ms, current {:.2} ms -> {speedup:.2}x",
+        legacy_ns / 1e6,
+        current_ns / 1e6
+    );
+
+    let dir = std::env::var("DLT_BENCH_DIR").unwrap_or_else(|_| "results".to_string());
+    if !dir.is_empty() {
+        let doc = Json::object([
+            ("bench".to_string(), Json::string("sim")),
+            (
+                "scenario".to_string(),
+                Json::string(format!(
+                    "{NODES}-node flood gossip, {ROOTS} roots, {PAYLOAD_BYTES} B payloads"
+                )),
+            ),
+            ("deliveries".to_string(), Json::number(legacy.0 as f64)),
+            ("legacy_median_ns".to_string(), Json::number(legacy_ns)),
+            ("current_median_ns".to_string(), Json::number(current_ns)),
+            ("speedup_median".to_string(), Json::number(speedup)),
+        ]);
+        let path = std::path::Path::new(&dir).join("BENCH_sim.json");
+        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, doc.to_string())) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+        }
+    }
+}

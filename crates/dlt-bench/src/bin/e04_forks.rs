@@ -7,7 +7,7 @@
 //! predecessor" scenario. The expected shape: fork rate grows roughly
 //! with latency/interval, and nodes still converge on one chain.
 
-use dlt_bench::{banner, Table};
+use dlt_bench::{banner, trace, Table};
 use dlt_blockchain::block::Block;
 use dlt_blockchain::difficulty::RetargetParams;
 use dlt_blockchain::node::{MinerConfig, MinerNode, NetMsg};
@@ -37,7 +37,11 @@ fn main() {
         "converged",
     ]);
 
+    // DLT_TRACE=1 records the full schedule/dispatch/mined/reorg event
+    // stream of every sweep point into one log.
+    let trace = trace::from_env("e04");
     for latency_ms in [10u64, 100, 500, 1_000, 3_000] {
+        trace.mark("sweep.latency_ms", latency_ms);
         let mut sim: Simulation<NetMsg<_>, MinerNode<_>> = Simulation::new(
             42 + latency_ms,
             LatencyModel::LogNormal {
@@ -62,6 +66,7 @@ fn main() {
             };
             sim.add_node(MinerNode::new(Block::<UtxoTx>::empty_genesis(), config));
         }
+        trace.install(&mut sim);
         sim.run_until(run);
         sim.run_until_idle(run + SimTime::from_secs(30));
 

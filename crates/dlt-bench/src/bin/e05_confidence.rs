@@ -5,7 +5,7 @@
 //! probability, a Monte-Carlo race on the sampled PoW model, and the
 //! depth tables for several risk tolerances.
 
-use dlt_bench::{banner, Table};
+use dlt_bench::{banner, trace, Table};
 use dlt_core::confidence::{confidence_table, depth_for_risk, revert_probability, simulate_race};
 use dlt_sim::rng::SimRng;
 
@@ -22,9 +22,17 @@ fn main() {
         "z=12",
         "depth for <0.1%",
     ]);
+    // DLT_TRACE=1 records the Monte-Carlo sweep (attacker share in %,
+    // then the z=6 win rate in parts per million).
+    let trace = trace::from_env("e05");
     let mut rng = SimRng::new(2024);
     for row in confidence_table(&shares) {
+        trace.mark("sweep.attacker_pct", (row.attacker_share * 100.0) as u64);
         let simulated = simulate_race(row.attacker_share, 6, 30_000, 80, &mut rng);
+        trace.mark(
+            "race.win_rate_ppm",
+            (simulated.attacker_win_rate * 1e6) as u64,
+        );
         table.row([
             format!("{:.2}", row.attacker_share),
             format!("{:.4}", row.p_revert_1),

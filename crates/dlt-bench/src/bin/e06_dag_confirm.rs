@@ -6,7 +6,7 @@
 //! blocks as a function of link latency and representative-weight
 //! concentration.
 
-use dlt_bench::{banner, Table};
+use dlt_bench::{banner, trace, Table};
 use dlt_crypto::keys::Address;
 use dlt_dag::account::NanoAccount;
 use dlt_dag::lattice::LatticeParams;
@@ -79,11 +79,17 @@ fn main() {
         "§III-B, §IV-B",
     );
 
+    // DLT_TRACE=1 records vote/confirmation traffic for every sweep
+    // point of both parts into one event log.
+    let trace = trace::from_env("e06");
+
     // Part 1: confirmation latency of ordinary transfers vs link latency.
     println!("\nconfirmation latency of a non-conflicting send:");
     let mut table = Table::new(["link latency", "confirm latency p50", "p99", "votes cast"]);
     for latency_ms in [20u64, 80, 200] {
+        trace.mark("sweep.latency_ms", latency_ms);
         let (mut sim, mut reps) = build(1, latency_ms, &[200, 200, 200, 200, 200]);
+        trace.install(&mut sim);
         for i in 0..20 {
             let send = reps[i % 5]
                 .send(Address::from_label("shop"), 10)
@@ -123,6 +129,8 @@ fn main() {
         ("two blocs 40/40 + 20", vec![400, 400, 200]),
     ] {
         let (mut sim, mut reps) = build(7, 50, &shares);
+        trace.mark("sweep.fork_reps", shares.len() as u64);
+        trace.install(&mut sim);
         let n = shares.len();
         // The attacker double-sends from a forked account state.
         let attacker_index = n - 1;

@@ -7,11 +7,11 @@
 //! each network's real age and traffic; the reproducible content is the
 //! per-transaction footprint and the growth mechanism.
 
-use dlt_bench::{banner, human_bytes, smoke, Table};
+use dlt_bench::{banner, human_bytes, smoke, trace, Table};
 use dlt_blockchain::bitcoin::BitcoinParams;
 use dlt_blockchain::ethereum::EthereumParams;
 use dlt_core::ledger::{
-    run_workload, BitcoinAdapter, EthereumAdapter, NanoAdapter, WorkloadConfig,
+    run_workload_traced, BitcoinAdapter, EthereumAdapter, NanoAdapter, WorkloadConfig,
 };
 use dlt_core::sizing::{annual_growth_bytes, paper_reported_sizes, GrowthModel};
 use dlt_dag::lattice::LatticeParams;
@@ -61,11 +61,16 @@ fn main() {
         1,
     );
 
-    let reports = vec![
-        run_workload(&mut bitcoin, &config),
-        run_workload(&mut ethereum, &config),
-        run_workload(&mut nano, &config),
-    ];
+    // DLT_TRACE=1 captures workload milestone marks per ledger run.
+    let trace = trace::from_env("e07");
+    let mut tracer = trace.tracer();
+    trace.mark("workload.run", 0);
+    let bitcoin_report = run_workload_traced(&mut bitcoin, &config, tracer.as_mut());
+    trace.mark("workload.run", 1);
+    let ethereum_report = run_workload_traced(&mut ethereum, &config, tracer.as_mut());
+    trace.mark("workload.run", 2);
+    let nano_report = run_workload_traced(&mut nano, &config, tracer.as_mut());
+    let reports = vec![bitcoin_report, ethereum_report, nano_report];
 
     println!(
         "\nidentical workload ({} tps offered, {secs}s):",
@@ -129,7 +134,8 @@ fn main() {
         SimTime::from_millis(300),
         1,
     );
-    let short = run_workload(&mut nano2, &short_cfg);
+    trace.mark("workload.run", 3);
+    let short = run_workload_traced(&mut nano2, &short_cfg, tracer.as_mut());
     let long = &reports[2];
     let model = GrowthModel::fit(
         (short.confirmed as f64, short.ledger_bytes as f64),

@@ -7,11 +7,11 @@
 //! 2. *measured*, by saturating the three implementations at a
 //!    compressed timescale and scaling the result back.
 
-use dlt_bench::{banner, smoke, Table};
+use dlt_bench::{banner, smoke, trace, Table};
 use dlt_blockchain::bitcoin::BitcoinParams;
 use dlt_blockchain::ethereum::EthereumParams;
 use dlt_core::ledger::{
-    run_workload, BitcoinAdapter, EthereumAdapter, NanoAdapter, WorkloadConfig,
+    run_workload_traced, BitcoinAdapter, EthereumAdapter, NanoAdapter, WorkloadConfig,
 };
 use dlt_core::throughput::{
     backlog_after, bitcoin_tps_range, blockchain_tps, ethereum_pos_tps, ethereum_tps_range,
@@ -123,10 +123,20 @@ fn main() {
         2,
     );
 
+    // DLT_TRACE=1 captures workload milestone marks (offered /
+    // confirmed / rejected) for all three runs into one event log.
+    let trace = trace::from_env("e09");
+    let mut tracer = trace.tracer();
+    trace.mark("workload.run", 0);
+    let bitcoin_report = run_workload_traced(&mut bitcoin, &config, tracer.as_mut());
+    trace.mark("workload.run", 1);
+    let ethereum_report = run_workload_traced(&mut ethereum, &config, tracer.as_mut());
+    trace.mark("workload.run", 2);
+    let nano_report = run_workload_traced(&mut nano, &config, tracer.as_mut());
     let reports = [
-        ("bitcoin-like (1x)", run_workload(&mut bitcoin, &config)),
-        ("ethereum-like (1x)", run_workload(&mut ethereum, &config)),
-        ("nano-like", run_workload(&mut nano, &config)),
+        ("bitcoin-like (1x)", bitcoin_report),
+        ("ethereum-like (1x)", ethereum_report),
+        ("nano-like", nano_report),
     ];
     let mut table = Table::new([
         "ledger",

@@ -4,7 +4,7 @@
 //! PoW's hash-power lottery fairness, PoS's stake-weighted selection
 //! with slashing, and Nano's weighted representative voting.
 
-use dlt_bench::{banner, Table};
+use dlt_bench::{banner, trace, Table};
 use dlt_blockchain::pos::{
     CasperFfg, Checkpoint, EquivocationDetector, FfgOutcome, FfgVote, ValidatorSet,
 };
@@ -16,6 +16,8 @@ use dlt_sim::rng::SimRng;
 
 fn main() {
     let _report = banner("e10", "consensus mechanisms", "§III");
+    // DLT_TRACE=1 records per-mechanism milestones.
+    let trace = trace::from_env("e10");
     let mut rng = SimRng::new(10);
 
     // --- PoW lottery fairness: win share tracks hash share. ---
@@ -38,6 +40,7 @@ fn main() {
     }
     let mut table = Table::new(["miner hash share", "expected win share", "measured"]);
     for (share, win) in shares.iter().zip(wins) {
+        trace.mark("pow.lottery_wins", win);
         table.row([
             format!("{:.0}%", share * 100.0),
             format!("{:.0}%", share * 100.0),
@@ -89,6 +92,7 @@ fn main() {
         .observe(evil, 42, sha256(b"block-b"))
         .expect("double-sign");
     let burned = validators.slash(&evidence.proposer);
+    trace.mark("pos.stake_burned", burned);
     println!(
         "validator whale double-signed slot {} -> {} stake burned; total stake {} -> {}",
         evidence.slot,
@@ -154,6 +158,7 @@ fn main() {
         election.vote(Address::from_label(&format!("small-{i}")), 30, attack);
     }
     let (winner, weight) = election.leader().unwrap();
+    trace.mark("dag.election_winner_weight", weight);
     println!(
         "9 small representatives (270 weight) back the double spend; 1 large (700) \
          backs the honest send -> winner: {} with weight {weight}",

@@ -11,7 +11,7 @@
 //! the fork rate (measured on the miner network with size-scaled
 //! latency) and the hardware demanded of full nodes.
 
-use dlt_bench::{banner, Table};
+use dlt_bench::{banner, trace, Table};
 use dlt_blockchain::block::Block;
 use dlt_blockchain::difficulty::RetargetParams;
 use dlt_blockchain::node::{MinerConfig, MinerNode, NetMsg};
@@ -41,7 +41,11 @@ fn main() {
         "measured fork rate",
         "full-node burden (GB/yr)",
     ]);
+    // DLT_TRACE=1 records the miner-network event stream per sweep
+    // point (marked by block size in tenths of a MB).
+    let trace = trace::from_env("e11");
     for mb in [0.5f64, 1.0, 2.0, 4.0, 8.0, 32.0] {
+        trace.mark("sweep.block_size_tenth_mb", (mb * 10.0) as u64);
         let size_bytes = mb * 1e6;
         let tps = blockchain_tps(size_bytes, tx_bytes, interval);
         let propagation = base_latency + size_bytes / bandwidth_bytes_per_sec;
@@ -79,6 +83,7 @@ fn main() {
                 },
             ));
         }
+        trace.install(&mut sim);
         sim.run_until(SimTime::from_secs(2_000));
         let total = sim.node(NodeId(0)).chain().block_count();
         let stale = sim.node(NodeId(0)).chain().stale_block_count();

@@ -6,7 +6,7 @@
 //! communication — "the downside … is that developers would need to be
 //! aware that they are programming in a cross shard environment."
 
-use dlt_bench::{banner, Table};
+use dlt_bench::{banner, trace, Table};
 use dlt_scaling::sharding::{ShardedNetwork, ShardingParams};
 use dlt_sim::rng::SimRng;
 
@@ -24,8 +24,11 @@ fn main() {
         "f = 100%",
         "theory f=30%",
     ]);
+    // DLT_TRACE=1 marks each (K, f) sweep point with the measured TPS.
+    let trace = trace::from_env("e13");
     let mut rng = SimRng::new(13);
     for k in [1usize, 2, 4, 8, 16, 32] {
+        trace.mark("sweep.shards", k as u64);
         let mut cells = vec![k.to_string()];
         for f in [0.0f64, 0.1, 0.3, 1.0] {
             let params = ShardingParams {
@@ -35,6 +38,7 @@ fn main() {
             };
             let mut net = ShardedNetwork::new(params);
             let measured = net.run_saturated(per_shard_rate * k as f64 * 3.0, duration, &mut rng);
+            trace.mark("shard.measured_tps", measured as u64);
             cells.push(format!("{measured:.0}"));
         }
         let theory = ShardingParams {

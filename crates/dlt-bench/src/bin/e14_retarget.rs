@@ -9,7 +9,7 @@
 //! average block interval snapping back to the 600-second target as
 //! retarget windows close.
 
-use dlt_bench::{banner, Table};
+use dlt_bench::{banner, trace, Table};
 use dlt_blockchain::difficulty::{retarget, RetargetParams};
 use dlt_blockchain::pow::sample_mining_time;
 use dlt_sim::rng::SimRng;
@@ -37,7 +37,10 @@ fn main() {
         "avg block interval",
         "vs 600 s target",
     ]);
+    // DLT_TRACE=1 records the difficulty trajectory per window.
+    let trace = trace::from_env("e14");
     for window in 0..windows {
+        trace.mark("retarget.difficulty", difficulty);
         let hashrate = if window < 5 { 1_000.0 } else { 10_000.0 };
         // Mine one window of blocks at the current difficulty.
         let mut span = 0.0;

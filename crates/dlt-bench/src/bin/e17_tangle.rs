@@ -6,7 +6,7 @@
 //! dynamics, confirmation by cumulative weight, and the effect of the
 //! MCMC tip-selection bias α.
 
-use dlt_bench::{banner, smoke, Table};
+use dlt_bench::{banner, smoke, trace, Table};
 use dlt_crypto::sha256::sha256;
 use dlt_dag::tangle::{Tangle, TipSelection};
 use dlt_sim::rng::SimRng;
@@ -23,6 +23,10 @@ fn main() {
     // each other). We attach in rounds of `k` concurrent transactions.
     // DLT_SMOKE shrinks the attachment rounds; the steady-state tip
     // counts are noisier but the strategy ordering is unchanged.
+    // DLT_TRACE=1 exports the tangle's internal work metrics per
+    // sweep point: attachment count, weight updates, and the mean
+    // ancestor count touched per attach (in thousandths).
+    let trace = trace::from_env("e17");
     let rounds = if smoke() { 40 } else { 200 };
     println!("\ntip-pool size and confirmation after {rounds} rounds × k concurrent arrivals:");
     let mut table = Table::new([
@@ -56,6 +60,22 @@ fn main() {
                     tag += 1;
                 }
             }
+            trace.mark("sweep.arrival_rate", k);
+            trace.mark(
+                "tangle.attachments",
+                tangle.metrics().count("tangle.attachments"),
+            );
+            trace.mark(
+                "tangle.weight_updates",
+                tangle.metrics().count("tangle.weight_updates"),
+            );
+            trace.mark(
+                "tangle.mean_ancestors_milli",
+                tangle
+                    .metrics()
+                    .mean("tangle.ancestors_per_attach")
+                    .map_or(0, |m| (m * 1000.0) as u64),
+            );
             table.row([
                 label.to_string(),
                 k.to_string(),

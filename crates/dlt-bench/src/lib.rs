@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use std::cell::RefCell;
 
 use dlt_testkit::json::Json;

@@ -18,7 +18,8 @@ use std::collections::HashSet;
 
 use dlt_crypto::keys::Address;
 use dlt_crypto::Digest;
-use dlt_sim::engine::{Context, SimNode};
+use dlt_sim::engine::{Context, Payload, SimNode};
+use dlt_sim::metrics::{CounterId, Metrics, SeriesId};
 use dlt_sim::network::NodeId;
 
 use crate::block::{Block, BlockHeader, LedgerTx};
@@ -94,6 +95,36 @@ impl<T> MinerConfig<T> {
     }
 }
 
+/// Pre-interned metric handles for the miner's hot paths, registered
+/// once in `on_start` (interning is idempotent, so all nodes share the
+/// same ids in the simulation's metrics sink).
+#[derive(Debug, Clone, Copy)]
+struct MinerMetrics {
+    blocks_mined: CounterId,
+    block_interval_secs: SeriesId,
+    blocks_connected: CounterId,
+    reorgs: CounterId,
+    reorg_depth: SeriesId,
+    fork_blocks_observed: CounterId,
+    orphans_pooled: CounterId,
+    txs_accepted: CounterId,
+}
+
+impl MinerMetrics {
+    fn register(metrics: &mut Metrics) -> Self {
+        MinerMetrics {
+            blocks_mined: metrics.counter("node.blocks_mined"),
+            block_interval_secs: metrics.series("node.block_interval_secs"),
+            blocks_connected: metrics.counter("node.blocks_connected"),
+            reorgs: metrics.counter("node.reorgs"),
+            reorg_depth: metrics.series("node.reorg_depth"),
+            fork_blocks_observed: metrics.counter("node.fork_blocks_observed"),
+            orphans_pooled: metrics.counter("node.orphans_pooled"),
+            txs_accepted: metrics.counter("node.txs_accepted"),
+        }
+    }
+}
+
 /// A full node: chain store, mempool, sampled miner, gossip relay.
 pub struct MinerNode<T> {
     chain: ChainStore<T>,
@@ -106,6 +137,8 @@ pub struct MinerNode<T> {
     mining_parent: Option<Digest>,
     /// Gossip dedup: everything this node has already relayed.
     seen: HashSet<Digest>,
+    /// Metric handles, registered in `on_start`.
+    metrics: Option<MinerMetrics>,
 }
 
 impl<T: LedgerTx> MinerNode<T> {
@@ -120,7 +153,13 @@ impl<T: LedgerTx> MinerNode<T> {
             job_seq: 0,
             mining_parent: None,
             seen: HashSet::new(),
+            metrics: None,
         }
+    }
+
+    /// The node's metric handles (registered in `on_start`).
+    fn handles(&self) -> MinerMetrics {
+        self.metrics.expect("metric handles registered in on_start")
     }
 
     /// This node's view of the chain.
@@ -222,9 +261,10 @@ impl<T: LedgerTx> MinerNode<T> {
         let id = block.id();
 
         let interval_secs = (ctx.now().as_micros() as f64 - parent.timestamp_micros as f64) / 1e6;
-        ctx.metrics().inc("node.blocks_mined");
-        ctx.metrics()
-            .record("node.block_interval_secs", interval_secs);
+        let m = self.handles();
+        ctx.metrics().inc(m.blocks_mined);
+        ctx.metrics().record(m.block_interval_secs, interval_secs);
+        ctx.trace_mark("miner.block_mined", height);
         self.seen.insert(id);
         self.accept_block(ctx, block.clone());
         ctx.broadcast(NetMsg::Block(block));
@@ -235,20 +275,21 @@ impl<T: LedgerTx> MinerNode<T> {
     where
         T: Clone,
     {
+        let m = self.handles();
         let outcome = self.chain.insert(block);
         match &outcome {
             InsertOutcome::Extended { applied, .. } => {
                 for id in applied {
                     self.confirm_txs(id);
                 }
-                ctx.metrics().inc("node.blocks_connected");
+                ctx.metrics().inc(m.blocks_connected);
             }
             InsertOutcome::Reorged {
                 reverted, applied, ..
             } => {
-                ctx.metrics().inc("node.reorgs");
-                ctx.metrics()
-                    .record("node.reorg_depth", reverted.len() as f64);
+                ctx.metrics().inc(m.reorgs);
+                ctx.metrics().record(m.reorg_depth, reverted.len() as f64);
+                ctx.trace_mark("miner.reorg_depth", reverted.len() as u64);
                 // Orphaned transactions go back to the pool first, then
                 // the new branch claims its own.
                 let mut reinstate = Vec::new();
@@ -263,10 +304,10 @@ impl<T: LedgerTx> MinerNode<T> {
                 }
             }
             InsertOutcome::SideChain => {
-                ctx.metrics().inc("node.fork_blocks_observed");
+                ctx.metrics().inc(m.fork_blocks_observed);
             }
             InsertOutcome::AwaitingParent => {
-                ctx.metrics().inc("node.orphans_pooled");
+                ctx.metrics().inc(m.orphans_pooled);
             }
             InsertOutcome::Duplicate | InsertOutcome::Rejected(_) => {}
         }
@@ -283,21 +324,29 @@ impl<T: LedgerTx> MinerNode<T> {
 
 impl<T: LedgerTx> SimNode<NetMsg<T>> for MinerNode<T> {
     fn on_start(&mut self, ctx: &mut Context<'_, NetMsg<T>>) {
+        self.metrics = Some(MinerMetrics::register(ctx.metrics()));
         self.schedule_mining(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, NetMsg<T>>, _from: NodeId, msg: NetMsg<T>) {
-        match msg {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg<T>>,
+        _from: NodeId,
+        msg: Payload<NetMsg<T>>,
+    ) {
+        match &*msg {
             NetMsg::Block(block) => {
                 let id = block.id();
                 if !self.seen.insert(id) {
                     return;
                 }
                 let old_tip = self.chain.tip();
-                self.accept_block(ctx, block.clone());
+                let block = block.clone();
+                self.accept_block(ctx, block);
                 // Flood-relay regardless of whether it won fork choice;
-                // peers decide for themselves.
-                ctx.broadcast(NetMsg::Block(block));
+                // peers decide for themselves. Relaying the shared
+                // payload re-uses the original allocation.
+                ctx.broadcast(Payload::clone(&msg));
                 if self.chain.tip() != old_tip {
                     // Tip moved: abandon the current attempt and mine on
                     // the new tip (memoryless restart).
@@ -310,9 +359,10 @@ impl<T: LedgerTx> SimNode<NetMsg<T>> for MinerNode<T> {
                     return;
                 }
                 if self.mempool.insert(tx.clone()) {
-                    ctx.metrics().inc("node.txs_accepted");
+                    let m = self.handles();
+                    ctx.metrics().inc(m.txs_accepted);
                 }
-                ctx.broadcast(NetMsg::Tx(tx));
+                ctx.broadcast(Payload::clone(&msg));
             }
         }
     }

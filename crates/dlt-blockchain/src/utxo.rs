@@ -16,7 +16,7 @@
 //! [`LedgerTx`] interface can report fees without a UTXO-set lookup;
 //! validation recomputes the true fee and rejects mismatches.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use dlt_crypto::codec::{Decode, DecodeError, Encode};
 use dlt_crypto::keys::{Address, Keypair, PublicKey, Signature};
@@ -479,7 +479,10 @@ impl UtxoLedger {
 /// requirement for our one-time signature schemes).
 #[derive(Debug)]
 pub struct Wallet {
-    keys: HashMap<Address, Keypair>,
+    /// Sorted by address so input selection iterates in a
+    /// deterministic order — a `HashMap` here made transaction
+    /// construction depend on per-instance hash seeds.
+    keys: BTreeMap<Address, Keypair>,
     rng: SimRng,
 }
 
@@ -487,7 +490,7 @@ impl Wallet {
     /// Creates a wallet with a deterministic key stream.
     pub fn new(seed: u64) -> Self {
         Wallet {
-            keys: HashMap::new(),
+            keys: BTreeMap::new(),
             rng: SimRng::new(seed),
         }
     }

@@ -26,6 +26,7 @@ use dlt_dag::account::NanoAccount;
 use dlt_dag::lattice::{Lattice, LatticeParams};
 use dlt_sim::rng::SimRng;
 use dlt_sim::time::SimTime;
+use dlt_sim::trace::{NoopTracer, TraceEvent, Tracer};
 
 /// Where a submitted transfer stands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -556,10 +557,24 @@ pub struct WorkloadReport {
 /// Drives `ledger` with a Poisson workload of transfers between
 /// uniformly random actor pairs and reports the §V/§VI metrics.
 pub fn run_workload(ledger: &mut dyn DistributedLedger, config: &WorkloadConfig) -> WorkloadReport {
+    run_workload_traced(ledger, config, &mut NoopTracer)
+}
+
+/// [`run_workload`] with a [`Tracer`] observing the run: each rejected
+/// submission and each sampling milestone emits a [`TraceEvent::Mark`].
+/// The workload runs outside the discrete-event engine, so marks are
+/// the only event kind it produces; pass [`NoopTracer`] (or call
+/// [`run_workload`]) to trace nothing at zero cost.
+pub fn run_workload_traced(
+    ledger: &mut dyn DistributedLedger,
+    config: &WorkloadConfig,
+    tracer: &mut dyn Tracer,
+) -> WorkloadReport {
     let mut rng = SimRng::new(config.seed);
     let actors = ledger.actor_count();
     assert!(actors >= 2, "workload needs at least two actors");
     let initial_bytes = ledger.stats().ledger_bytes;
+    let tracing = tracer.enabled();
 
     let step = SimTime::from_millis(100);
     let mut now = SimTime::ZERO;
@@ -573,7 +588,13 @@ pub fn run_workload(ledger: &mut dyn DistributedLedger, config: &WorkloadConfig)
                 to += 1;
             }
             offered += 1;
-            let _ = ledger.submit_transfer(from, to, config.amount);
+            if ledger.submit_transfer(from, to, config.amount).is_none() && tracing {
+                tracer.trace(TraceEvent::Mark {
+                    at: now,
+                    label: "workload.rejected",
+                    value: offered,
+                });
+            }
         }
         ledger.advance(step);
         now += step;
@@ -582,10 +603,29 @@ pub fn run_workload(ledger: &mut dyn DistributedLedger, config: &WorkloadConfig)
     // drain below exists to settle backlogs and in-flight receives for
     // the size/backlog statistics, and must not inflate the rate.
     let at_load_end = ledger.stats();
+    if tracing {
+        tracer.trace(TraceEvent::Mark {
+            at: now,
+            label: "workload.offered",
+            value: offered,
+        });
+        tracer.trace(TraceEvent::Mark {
+            at: now,
+            label: "workload.confirmed_at_load_end",
+            value: at_load_end.confirmed,
+        });
+    }
     let mut drained = SimTime::ZERO;
     while drained < config.drain {
         ledger.advance(step);
         drained += step;
+    }
+    if tracing {
+        tracer.trace(TraceEvent::Mark {
+            at: now.saturating_add(drained),
+            label: "workload.confirmed_after_drain",
+            value: ledger.stats().confirmed,
+        });
     }
 
     let stats = ledger.stats();
@@ -686,6 +726,31 @@ mod tests {
         let report = run_workload(&mut ledger, &config(1.0, 30));
         assert!(report.confirmed > 10, "report {report:?}");
         assert!(report.bytes_per_tx > 0.0);
+    }
+
+    #[test]
+    fn traced_workload_emits_marks_and_matches_untraced_report() {
+        use dlt_sim::trace::RecordingTracer;
+        let mut plain = fast_bitcoin(4);
+        let untraced = run_workload(&mut plain, &config(0.5, 60));
+        let mut tracer = RecordingTracer::new();
+        let log = tracer.log();
+        let mut traced_ledger = fast_bitcoin(4);
+        let traced = run_workload_traced(&mut traced_ledger, &config(0.5, 60), &mut tracer);
+        // Tracing is pure observation: the report is identical.
+        assert_eq!(traced.offered, untraced.offered);
+        assert_eq!(traced.confirmed, untraced.confirmed);
+        let marks: Vec<&'static str> = log
+            .snapshot()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Mark { label, .. } => Some(*label),
+                _ => None,
+            })
+            .collect();
+        assert!(marks.contains(&"workload.offered"));
+        assert!(marks.contains(&"workload.confirmed_at_load_end"));
+        assert!(marks.contains(&"workload.confirmed_after_drain"));
     }
 
     #[test]

@@ -16,7 +16,8 @@ use std::collections::{HashMap, HashSet};
 
 use dlt_crypto::keys::Address;
 use dlt_crypto::Digest;
-use dlt_sim::engine::{Context, SimNode};
+use dlt_sim::engine::{Context, Payload, SimNode};
+use dlt_sim::metrics::{CounterId, Metrics, SeriesId};
 use dlt_sim::network::NodeId;
 
 use crate::block::LatticeBlock;
@@ -54,6 +55,38 @@ impl Default for DagNodeConfig {
     }
 }
 
+/// Pre-interned metric handles for the DAG node's hot paths,
+/// registered once in `on_start` (interning is idempotent, so all
+/// nodes share the same ids in the simulation's metrics sink).
+#[derive(Debug, Clone, Copy)]
+struct DagMetrics {
+    votes_cast: CounterId,
+    blocks_accepted: CounterId,
+    forks_detected: CounterId,
+    gap_buffered: CounterId,
+    blocks_rejected: CounterId,
+    losing_branches_rolled_back: CounterId,
+    confirmed_unadoptable: CounterId,
+    blocks_confirmed: CounterId,
+    confirm_latency_ms: SeriesId,
+}
+
+impl DagMetrics {
+    fn register(metrics: &mut Metrics) -> Self {
+        DagMetrics {
+            votes_cast: metrics.counter("dag.votes_cast"),
+            blocks_accepted: metrics.counter("dag.blocks_accepted"),
+            forks_detected: metrics.counter("dag.forks_detected"),
+            gap_buffered: metrics.counter("dag.gap_buffered"),
+            blocks_rejected: metrics.counter("dag.blocks_rejected"),
+            losing_branches_rolled_back: metrics.counter("dag.losing_branches_rolled_back"),
+            confirmed_unadoptable: metrics.counter("dag.confirmed_unadoptable"),
+            blocks_confirmed: metrics.counter("dag.blocks_confirmed"),
+            confirm_latency_ms: metrics.series("dag.confirm_latency_ms"),
+        }
+    }
+}
+
 /// A full DAG node: lattice, elections, relay and (optionally) voting.
 pub struct DagNode {
     lattice: Lattice,
@@ -70,6 +103,8 @@ pub struct DagNode {
     arrival_micros: HashMap<Digest, u64>,
     /// Locally confirmed blocks.
     confirmed: HashSet<Digest>,
+    /// Metric handles, registered in `on_start`.
+    metrics: Option<DagMetrics>,
 }
 
 impl DagNode {
@@ -84,7 +119,13 @@ impl DagNode {
             candidates: HashMap::new(),
             arrival_micros: HashMap::new(),
             confirmed: HashSet::new(),
+            metrics: None,
         }
+    }
+
+    /// The node's metric handles (registered in `on_start`).
+    fn handles(&self) -> DagMetrics {
+        self.metrics.expect("metric handles registered in on_start")
     }
 
     /// This node's ledger view.
@@ -144,46 +185,58 @@ impl DagNode {
         };
         self.handle_vote(ctx, vote);
         ctx.broadcast(DagMsg::Vote(vote));
-        ctx.metrics().inc("dag.votes_cast");
+        let m = self.handles();
+        ctx.metrics().inc(m.votes_cast);
     }
 
-    fn handle_publish(&mut self, ctx: &mut Context<'_, DagMsg>, block: LatticeBlock) {
+    /// Processes a gossiped `Publish`. Takes the shared payload so the
+    /// flood relay re-shares the sender's allocation instead of
+    /// cloning the block per peer.
+    fn handle_publish(&mut self, ctx: &mut Context<'_, DagMsg>, msg: Payload<DagMsg>) {
+        let DagMsg::Publish(block) = &*msg else {
+            return;
+        };
         let hash = block.hash();
         if !self.seen.insert(hash) {
             return;
         }
+        let m = self.handles();
         self.arrival_micros.insert(hash, ctx.now().as_micros());
         self.candidates.insert(hash, block.clone());
-        ctx.broadcast(DagMsg::Publish(block.clone()));
+        ctx.broadcast(Payload::clone(&msg));
 
-        let root = Self::election_root(&block);
+        let root = Self::election_root(block);
+        let gap_parent = block.previous;
         match self.lattice.process(block.clone()) {
             Ok(_) => {
-                ctx.metrics().inc("dag.blocks_accepted");
+                ctx.metrics().inc(m.blocks_accepted);
                 self.cast_vote(ctx, root, hash);
                 // A gap behind this block may now be fillable.
                 if let Some(waiting) = self.gap_buffer.remove(&hash) {
                     for held in waiting {
                         self.seen.remove(&held.hash()); // reprocess fully
-                        self.handle_publish(ctx, held);
+                        self.handle_publish(ctx, Payload::new(DagMsg::Publish(held)));
                     }
                 }
             }
             Err(LatticeError::Fork { existing }) => {
                 // First-seen voting policy: back the incumbent.
-                ctx.metrics().inc("dag.forks_detected");
+                ctx.metrics().inc(m.forks_detected);
+                ctx.trace_mark("dag.fork_detected", 1);
                 self.cast_vote(ctx, root, existing);
             }
             Err(LatticeError::GapPrevious) => {
-                ctx.metrics().inc("dag.gap_buffered");
-                self.gap_buffer
-                    .entry(block.previous)
-                    .or_default()
-                    .push(block);
+                ctx.metrics().inc(m.gap_buffered);
+                if let DagMsg::Publish(block) = &*msg {
+                    self.gap_buffer
+                        .entry(gap_parent)
+                        .or_default()
+                        .push(block.clone());
+                }
             }
             Err(LatticeError::Duplicate) => {}
             Err(_) => {
-                ctx.metrics().inc("dag.blocks_rejected");
+                ctx.metrics().inc(m.blocks_rejected);
             }
         }
         // The election for this position may have concluded before the
@@ -210,6 +263,7 @@ impl DagNode {
         root: ElectionRoot,
         winner: Digest,
     ) {
+        let m = self.handles();
         if !self.lattice.contains(&winner) {
             // We adopted the loser (or nothing). Roll back whatever
             // occupies the disputed position and install the winner.
@@ -225,14 +279,14 @@ impl DagNode {
             });
             if let Some(loser) = occupier {
                 if self.lattice.rollback(&loser).is_ok() {
-                    ctx.metrics().inc("dag.losing_branches_rolled_back");
+                    ctx.metrics().inc(m.losing_branches_rolled_back);
                 }
             }
             if let Some(block) = self.candidates.get(&winner).cloned() {
                 if self.lattice.process(block).is_err() {
                     // Can't adopt yet (e.g. deeper gaps); leave it —
                     // the block will be re-offered by gossip.
-                    ctx.metrics().inc("dag.confirmed_unadoptable");
+                    ctx.metrics().inc(m.confirmed_unadoptable);
                     return;
                 }
             } else {
@@ -240,10 +294,11 @@ impl DagNode {
             }
         }
         if self.confirmed.insert(winner) {
-            ctx.metrics().inc("dag.blocks_confirmed");
+            ctx.metrics().inc(m.blocks_confirmed);
+            ctx.trace_mark("dag.block_confirmed", self.confirmed.len() as u64);
             if let Some(arrived) = self.arrival_micros.get(&winner) {
                 let latency_ms = (ctx.now().as_micros().saturating_sub(*arrived)) as f64 / 1e3;
-                ctx.metrics().record("dag.confirm_latency_ms", latency_ms);
+                ctx.metrics().record(m.confirm_latency_ms, latency_ms);
             }
             if self.config.cement_on_confirm {
                 let _ = self.lattice.cement(&winner);
@@ -253,15 +308,21 @@ impl DagNode {
 }
 
 impl SimNode<DagMsg> for DagNode {
-    fn on_message(&mut self, ctx: &mut Context<'_, DagMsg>, _from: NodeId, msg: DagMsg) {
-        match msg {
-            DagMsg::Publish(block) => self.handle_publish(ctx, block),
+    fn on_start(&mut self, ctx: &mut Context<'_, DagMsg>) {
+        self.metrics = Some(DagMetrics::register(ctx.metrics()));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, DagMsg>, _from: NodeId, msg: Payload<DagMsg>) {
+        match &*msg {
+            DagMsg::Publish(_) => self.handle_publish(ctx, msg),
             DagMsg::Vote(vote) => {
+                let vote = *vote;
                 let key = vote.dedup_key();
                 if !self.seen.insert(key) {
                     return;
                 }
-                ctx.broadcast(DagMsg::Vote(vote));
+                // Relay the shared payload (no per-peer deep clone).
+                ctx.broadcast(Payload::clone(&msg));
                 self.handle_vote(ctx, vote);
             }
         }

@@ -24,6 +24,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use dlt_crypto::sha256::Sha256;
 use dlt_crypto::Digest;
+use dlt_sim::metrics::{CounterId, Metrics, SeriesId};
 use dlt_sim::rng::SimRng;
 
 /// How new transactions choose the two tips they approve.
@@ -47,6 +48,27 @@ struct Site {
     cumulative_weight: u64,
 }
 
+/// Pre-interned handles into the tangle's own metrics sink. The
+/// tangle runs outside the discrete-event engine (e17 drives it
+/// directly), so it carries its own [`Metrics`] instead of using a
+/// simulation context.
+#[derive(Debug, Clone, Copy)]
+struct TangleMetrics {
+    attachments: CounterId,
+    weight_updates: CounterId,
+    ancestors_per_attach: SeriesId,
+}
+
+impl TangleMetrics {
+    fn register(metrics: &mut Metrics) -> Self {
+        TangleMetrics {
+            attachments: metrics.counter("tangle.attachments"),
+            weight_updates: metrics.counter("tangle.weight_updates"),
+            ancestors_per_attach: metrics.series("tangle.ancestors_per_attach"),
+        }
+    }
+}
+
 /// The tangle.
 #[derive(Debug, Clone)]
 pub struct Tangle {
@@ -55,6 +77,8 @@ pub struct Tangle {
     genesis: Digest,
     /// Cumulative weight at which a transaction counts as confirmed.
     confirmation_weight: u64,
+    metrics: Metrics,
+    m: TangleMetrics,
 }
 
 impl Tangle {
@@ -76,12 +100,22 @@ impl Tangle {
                 cumulative_weight: 0,
             },
         );
+        let mut metrics = Metrics::new();
+        let m = TangleMetrics::register(&mut metrics);
         Tangle {
             sites,
             tips: HashSet::from([genesis]),
             genesis,
             confirmation_weight,
+            metrics,
+            m,
         }
+    }
+
+    /// The tangle's metrics: attachment count, total weight-propagation
+    /// work, and the per-attach ancestor-update series.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     fn tx_id(payload: &Digest, parents: &[Digest; 2], nonce: u64) -> Digest {
@@ -227,14 +261,20 @@ impl Tangle {
         // Propagate +1 weight to every distinct ancestor.
         let mut seen = HashSet::new();
         let mut queue: VecDeque<Digest> = parents.iter().copied().collect();
+        let mut updated = 0u64;
         while let Some(ancestor) = queue.pop_front() {
             if ancestor.is_zero() || !seen.insert(ancestor) {
                 continue;
             }
             let site = self.sites.get_mut(&ancestor).expect("ancestors exist");
             site.cumulative_weight += 1;
+            updated += 1;
             queue.extend(site.approves);
         }
+        self.metrics.inc(self.m.attachments);
+        self.metrics.add(self.m.weight_updates, updated);
+        self.metrics
+            .record(self.m.ancestors_per_attach, updated as f64);
         id
     }
 
@@ -372,6 +412,19 @@ mod tests {
             "lazy tip accumulated weight {lazy_weight} despite approving stale txs"
         );
         assert!(!tangle.is_confirmed(&lazy));
+    }
+
+    #[test]
+    fn tangle_metrics_track_attachment_work() {
+        let mut tangle = Tangle::new(5);
+        let genesis = tangle.genesis();
+        let a = tangle.attach_approving(payload(1), [genesis, genesis], 1);
+        tangle.attach_approving(payload(2), [a, genesis], 2);
+        let metrics = tangle.metrics();
+        assert_eq!(metrics.count("tangle.attachments"), 2);
+        // First attach touches genesis (1); second touches a + genesis (2).
+        assert_eq!(metrics.count("tangle.weight_updates"), 3);
+        assert_eq!(metrics.samples("tangle.ancestors_per_attach"), &[1.0, 2.0]);
     }
 
     #[test]

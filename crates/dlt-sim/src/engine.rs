@@ -8,15 +8,30 @@
 //!
 //! Execution is deterministic: events are ordered by `(time, sequence
 //! number)`, and all randomness comes from the simulation's seeded RNG.
+//!
+//! The hot path is allocation-light: scheduled message payloads are
+//! shared behind [`Payload`] (an `Rc`), so an N-peer broadcast
+//! allocates the message once and every relay re-shares the same
+//! allocation; the engine's own counters go through pre-interned
+//! [`crate::metrics::CounterId`] handles. Every schedule, dispatch,
+//! and network-drop point also calls the installed [`Tracer`] (a
+//! no-op unless one is installed via [`Simulation::set_tracer`]).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 use crate::latency::LatencyModel;
-use crate::metrics::Metrics;
+use crate::metrics::{CounterId, Metrics};
 use crate::network::{Network, NodeId};
 use crate::rng::SimRng;
 use crate::time::SimTime;
+use crate::trace::{EventKind, NoopTracer, TraceEvent, Tracer};
+
+/// A shared, immutable message payload. One broadcast allocates the
+/// message once; every scheduled delivery and every relay hop shares
+/// that allocation.
+pub type Payload<M> = Rc<M>;
 
 /// Behaviour of one simulated node.
 ///
@@ -27,7 +42,9 @@ pub trait SimNode<M> {
     fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
 
     /// Called when a message from `from` is delivered to this node.
-    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+    /// The payload is shared: clone the `Payload` (cheap) to relay it,
+    /// clone the inner `M` only when ownership is really needed.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: Payload<M>);
 
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _timer: u64) {}
@@ -37,7 +54,7 @@ impl<M, T: SimNode<M> + ?Sized> SimNode<M> for Box<T> {
     fn on_start(&mut self, ctx: &mut Context<'_, M>) {
         (**self).on_start(ctx)
     }
-    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M) {
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: Payload<M>) {
         (**self).on_message(ctx, from, msg)
     }
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: u64) {
@@ -48,8 +65,30 @@ impl<M, T: SimNode<M> + ?Sized> SimNode<M> for Box<T> {
 /// What the engine schedules.
 #[derive(Debug)]
 enum Event<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, id: u64 },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: Payload<M>,
+    },
+    Timer {
+        node: NodeId,
+        id: u64,
+    },
+}
+
+impl<M> Event<M> {
+    fn kind(&self) -> EventKind {
+        match self {
+            Event::Deliver { from, to, .. } => EventKind::Deliver {
+                from: *from,
+                to: *to,
+            },
+            Event::Timer { node, id } => EventKind::Timer {
+                node: *node,
+                id: *id,
+            },
+        }
+    }
 }
 
 struct Scheduled<M> {
@@ -85,29 +124,58 @@ struct Core<M> {
     rng: SimRng,
     metrics: Metrics,
     node_count: usize,
+    net_messages: CounterId,
+    tracer: Box<dyn Tracer>,
+    // Cached tracer.enabled() so emit points cost one branch when off.
+    tracing: bool,
 }
 
 impl<M> Core<M> {
     fn schedule(&mut self, at: SimTime, event: Event<M>) {
         let seq = self.seq;
         self.seq += 1;
+        if self.tracing {
+            self.tracer.trace(TraceEvent::Schedule {
+                at,
+                seq,
+                kind: event.kind(),
+            });
+        }
         self.queue.push(Scheduled { at, seq, event });
     }
 
-    fn send_from(&mut self, from: NodeId, to: NodeId, msg: M)
-    where
-        M: Clone,
-    {
-        for delay in self.network.deliveries(from, to, &mut self.rng) {
-            self.metrics.inc("net.messages");
+    fn send_from(&mut self, from: NodeId, to: NodeId, msg: Payload<M>) {
+        let deliveries = self.network.deliveries(from, to, &mut self.rng);
+        if deliveries.is_empty() {
+            if self.tracing {
+                self.tracer.trace(TraceEvent::Dropped {
+                    at: self.now,
+                    from,
+                    to,
+                });
+            }
+            return;
+        }
+        for delay in deliveries {
+            self.metrics.inc(self.net_messages);
             self.schedule(
                 self.now.saturating_add(delay),
                 Event::Deliver {
                     from,
                     to,
-                    msg: msg.clone(),
+                    msg: Rc::clone(&msg),
                 },
             );
+        }
+    }
+
+    fn mark(&mut self, label: &'static str, value: u64) {
+        if self.tracing {
+            self.tracer.trace(TraceEvent::Mark {
+                at: self.now,
+                label,
+                value,
+            });
         }
     }
 }
@@ -118,7 +186,7 @@ pub struct Context<'a, M> {
     node: NodeId,
 }
 
-impl<'a, M: Clone> Context<'a, M> {
+impl<'a, M> Context<'a, M> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.core.now
@@ -139,28 +207,39 @@ impl<'a, M: Clone> Context<'a, M> {
         &mut self.core.rng
     }
 
-    /// The shared metrics sink.
+    /// The shared metrics sink. Register handles in
+    /// [`SimNode::on_start`] and update through them afterwards.
     pub fn metrics(&mut self) -> &mut Metrics {
         &mut self.core.metrics
     }
 
+    /// Emits a protocol-level [`TraceEvent::Mark`] to the installed
+    /// tracer (free when tracing is off).
+    pub fn trace_mark(&mut self, label: &'static str, value: u64) {
+        self.core.mark(label, value);
+    }
+
     /// Sends `msg` to `to`, subject to the network's latency/faults.
     /// Messages to unreachable nodes (partitioned, not a peer, self)
-    /// are silently dropped, as on a real network.
-    pub fn send(&mut self, to: NodeId, msg: M) {
+    /// are silently dropped, as on a real network. Accepts either an
+    /// owned `M` or an already-shared [`Payload<M>`].
+    pub fn send(&mut self, to: NodeId, msg: impl Into<Payload<M>>) {
         let from = self.node;
-        self.core.send_from(from, to, msg);
+        self.core.send_from(from, to, msg.into());
     }
 
     /// Sends `msg` to every current peer (full mesh unless an explicit
     /// topology was installed). Each copy samples its own latency, so
     /// different peers hear about it at different times — the root cause
-    /// of the soft forks in paper §IV-A.
-    pub fn broadcast(&mut self, msg: M) {
+    /// of the soft forks in paper §IV-A. The payload is allocated (at
+    /// most) once and shared across all scheduled deliveries; relaying
+    /// a received [`Payload<M>`] re-shares the original allocation.
+    pub fn broadcast(&mut self, msg: impl Into<Payload<M>>) {
+        let msg = msg.into();
         let from = self.node;
         let peers = self.core.network.peers_of(from, self.core.node_count);
         for to in peers {
-            self.core.send_from(from, to, msg.clone());
+            self.core.send_from(from, to, Rc::clone(&msg));
         }
     }
 
@@ -181,7 +260,7 @@ pub struct Simulation<M, N> {
     core: Core<M>,
 }
 
-impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
+impl<M, N: SimNode<M>> Simulation<M, N> {
     /// Creates a simulation with a fault-free full-mesh network using
     /// the given latency model.
     pub fn new(seed: u64, latency: LatencyModel) -> Self {
@@ -190,6 +269,8 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
 
     /// Creates a simulation over a fully configured network.
     pub fn with_network(seed: u64, network: Network) -> Self {
+        let mut metrics = Metrics::new();
+        let net_messages = metrics.counter("net.messages");
         Simulation {
             nodes: Vec::new(),
             core: Core {
@@ -198,10 +279,21 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
                 queue: BinaryHeap::new(),
                 network,
                 rng: SimRng::new(seed),
-                metrics: Metrics::new(),
+                metrics,
                 node_count: 0,
+                net_messages,
+                tracer: Box::new(NoopTracer),
+                tracing: false,
             },
         }
+    }
+
+    /// Installs a tracer that will observe every schedule, dispatch,
+    /// and drop from now on. Install before adding nodes to capture
+    /// `on_start` activity too.
+    pub fn set_tracer(&mut self, tracer: impl Tracer + 'static) {
+        self.core.tracing = tracer.enabled();
+        self.core.tracer = Box::new(tracer);
     }
 
     /// Adds a node and invokes its [`SimNode::on_start`]. Returns the
@@ -277,9 +369,9 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
     /// # Panics
     ///
     /// Panics if either node id is out of range.
-    pub fn send_external(&mut self, from: NodeId, to: NodeId, msg: M) {
+    pub fn send_external(&mut self, from: NodeId, to: NodeId, msg: impl Into<Payload<M>>) {
         assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len());
-        self.core.send_from(from, to, msg);
+        self.core.send_from(from, to, msg.into());
     }
 
     /// Delivers a message directly at an absolute time, bypassing the
@@ -289,10 +381,23 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
     /// # Panics
     ///
     /// Panics if `to` is out of range or `at` is in the past.
-    pub fn deliver_at(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+    pub fn deliver_at(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: impl Into<Payload<M>>,
+    ) {
         assert!(to.0 < self.nodes.len(), "unknown destination node");
         assert!(at >= self.core.now, "cannot schedule in the past");
-        self.core.schedule(at, Event::Deliver { from, to, msg });
+        self.core.schedule(
+            at,
+            Event::Deliver {
+                from,
+                to,
+                msg: msg.into(),
+            },
+        );
     }
 
     /// Schedules a timer on a node from outside the simulation.
@@ -314,6 +419,13 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
         };
         debug_assert!(scheduled.at >= self.core.now, "time went backwards");
         self.core.now = scheduled.at;
+        if self.core.tracing {
+            self.core.tracer.trace(TraceEvent::Dispatch {
+                at: scheduled.at,
+                seq: scheduled.seq,
+                kind: scheduled.event.kind(),
+            });
+        }
         match scheduled.event {
             Event::Deliver { from, to, msg } => {
                 let mut ctx = Context {
@@ -366,6 +478,7 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::RecordingTracer;
 
     #[derive(Debug, Clone, PartialEq)]
     enum Msg {
@@ -381,10 +494,10 @@ mod tests {
     }
 
     impl SimNode<Msg> for Recorder {
-        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
-            self.received.push((from, msg.clone(), ctx.now()));
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Payload<Msg>) {
+            self.received.push((from, (*msg).clone(), ctx.now()));
             if self.reply {
-                if let Msg::Ping(n) = msg {
+                if let Msg::Ping(n) = *msg {
                     ctx.send(from, Msg::Pong(n));
                 }
             }
@@ -435,7 +548,7 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
                 ctx.broadcast(Msg::Ping(0));
             }
-            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Payload<Msg>) {}
         }
         let mut sim: Simulation<Msg, Box<dyn SimNode<Msg>>> = Simulation::new(3, fixed(5));
         let r1 = sim.add_node(Box::new(Recorder::default()) as Box<dyn SimNode<Msg>>);
@@ -445,6 +558,41 @@ mod tests {
         // Downcast-free check via metrics instead: 2 messages sent.
         assert_eq!(sim.metrics().count("net.messages"), 2);
         let _ = (r1, r2);
+    }
+
+    #[test]
+    fn broadcast_shares_one_payload_allocation() {
+        struct Relay {
+            seen: bool,
+        }
+        impl SimNode<Msg> for Relay {
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: NodeId, msg: Payload<Msg>) {
+                if !self.seen {
+                    self.seen = true;
+                    // Relaying the received payload re-shares the
+                    // original allocation instead of deep-cloning.
+                    ctx.broadcast(msg);
+                }
+            }
+        }
+        let mut sim: Simulation<Msg, Relay> = Simulation::new(12, fixed(5));
+        for _ in 0..4 {
+            sim.add_node(Relay { seen: false });
+        }
+        let payload = Payload::new(Msg::Ping(1));
+        sim.deliver_at(
+            SimTime::from_millis(1),
+            NodeId(0),
+            NodeId(1),
+            Rc::clone(&payload),
+        );
+        sim.run_until_idle(SimTime::from_secs(1));
+        // Every node relayed once (3 peers each); all deliveries shared
+        // the single original allocation.
+        assert_eq!(sim.metrics().count("net.messages"), 12);
+        assert!(sim.nodes().iter().all(|n| n.seen));
+        // Only our local handle remains once the queue drains.
+        assert_eq!(Rc::strong_count(&payload), 1);
     }
 
     #[test]
@@ -570,5 +718,114 @@ mod tests {
         sim.set_timer_for(a, SimTime::from_millis(100), 1);
         sim.run_until(SimTime::from_millis(200));
         sim.deliver_at(SimTime::from_millis(50), a, a, Msg::Ping(0));
+    }
+
+    #[test]
+    fn recording_tracer_observes_schedule_dispatch_and_drop() {
+        let tracer = RecordingTracer::new();
+        let log = tracer.log();
+        let mut sim = Simulation::new(13, fixed(10));
+        sim.set_tracer(tracer);
+        let a = sim.add_node(Recorder::default());
+        let b = sim.add_node(Recorder::default());
+        sim.send_external(a, b, Msg::Ping(1));
+        sim.set_timer_for(b, SimTime::from_millis(3), 77);
+        sim.network_mut().set_drop_probability(1.0);
+        sim.send_external(a, b, Msg::Ping(2));
+        sim.run_until_idle(SimTime::from_secs(1));
+
+        let events = log.snapshot();
+        let schedules = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Schedule { .. }))
+            .count();
+        let dispatches: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Dispatch { at, seq, kind } => Some((*at, *seq, *kind)),
+                _ => None,
+            })
+            .collect();
+        let drops = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dropped { .. }))
+            .count();
+        // One delivery and one timer were scheduled and dispatched;
+        // the second send was dropped by the lossy network.
+        assert_eq!(schedules, 2);
+        assert_eq!(drops, 1);
+        assert_eq!(
+            dispatches,
+            vec![
+                (
+                    SimTime::from_millis(3),
+                    1,
+                    EventKind::Timer { node: b, id: 77 }
+                ),
+                (
+                    SimTime::from_millis(10),
+                    0,
+                    EventKind::Deliver { from: a, to: b }
+                ),
+            ]
+        );
+        // The captured log renders to parseable JSON.
+        let text = log.to_json().to_string();
+        let parsed = dlt_testkit::json::parse(&text).expect("trace log parses");
+        assert_eq!(parsed.get("n").and_then(|v| v.as_f64()), Some(5.0));
+    }
+
+    dlt_testkit::prop! {
+        fn dispatch_order_matches_sorted_reference(g, cases = 64) {
+            // A unified log node: every dispatched event lands in one
+            // list, in dispatch order.
+            #[derive(Default)]
+            struct OrderLog {
+                fired: Vec<(u64, SimTime)>,
+            }
+            impl SimNode<u64> for OrderLog {
+                fn on_message(
+                    &mut self,
+                    ctx: &mut Context<'_, u64>,
+                    _from: NodeId,
+                    msg: Payload<u64>,
+                ) {
+                    self.fired.push((*msg, ctx.now()));
+                }
+                fn on_timer(&mut self, ctx: &mut Context<'_, u64>, timer: u64) {
+                    self.fired.push((timer, ctx.now()));
+                }
+            }
+
+            // Random schedule with heavy same-tick ties, mixing
+            // deliveries and timers. Event i carries id i.
+            let n = g.usize_in(1, 40);
+            let mut sim: Simulation<u64, OrderLog> =
+                Simulation::new(1, LatencyModel::Fixed(SimTime::ZERO));
+            let a = sim.add_node(OrderLog::default());
+            let mut schedule: Vec<(u64, u64)> = Vec::new();
+            for i in 0..n as u64 {
+                let at_ms = g.u64_below(8);
+                if g.any_bool() {
+                    sim.deliver_at(SimTime::from_millis(at_ms), a, a, i);
+                } else {
+                    sim.set_timer_for(a, SimTime::from_millis(at_ms), i);
+                }
+                schedule.push((at_ms, i));
+            }
+            sim.run_until_idle(SimTime::from_secs(1));
+
+            // Naive reference model: stable sort by (time, seq), where
+            // seq is the order the events were scheduled in.
+            let mut reference = schedule.clone();
+            reference.sort_by_key(|&(at_ms, seq)| (at_ms, seq));
+            let fired: Vec<(u64, u64)> = sim
+                .node(a)
+                .fired
+                .iter()
+                .map(|&(id, at)| (at.as_millis(), id))
+                .collect();
+            assert_eq!(fired, reference, "dispatch order diverged from (time, seq)");
+        }
     }
 }

@@ -18,7 +18,11 @@
 //!   [`SimNode`], exchange messages through a
 //!   [`Context`], and set timers.
 //! * [`metrics`] — counters and histograms with percentile queries, the
-//!   raw material of every experiment table.
+//!   raw material of every experiment table. Hot paths use pre-interned
+//!   [`metrics::CounterId`]/[`metrics::SeriesId`] handles.
+//! * [`trace`] — the [`trace::Tracer`] hook the engine calls at every
+//!   schedule/dispatch/drop point, with a recording implementation for
+//!   tests and the `DLT_TRACE` experiment mode.
 //!
 //! Determinism: given the same seed and the same sequence of API calls,
 //! a simulation replays identically (events are ordered by time with a
@@ -27,15 +31,15 @@
 //! # Example
 //!
 //! ```
-//! use dlt_sim::engine::{Context, SimNode, Simulation};
+//! use dlt_sim::engine::{Context, Payload, SimNode, Simulation};
 //! use dlt_sim::latency::LatencyModel;
 //! use dlt_sim::network::NodeId;
 //! use dlt_sim::time::SimTime;
 //!
 //! struct Echo;
 //! impl SimNode<String> for Echo {
-//!     fn on_message(&mut self, ctx: &mut Context<'_, String>, from: NodeId, msg: String) {
-//!         if msg == "ping" {
+//!     fn on_message(&mut self, ctx: &mut Context<'_, String>, from: NodeId, msg: Payload<String>) {
+//!         if *msg == "ping" {
 //!             ctx.send(from, "pong".to_string());
 //!         }
 //!     }
@@ -58,7 +62,8 @@ pub mod metrics;
 pub mod network;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
-pub use engine::{Context, SimNode, Simulation};
+pub use engine::{Context, Payload, SimNode, Simulation};
 pub use network::NodeId;
 pub use time::SimTime;

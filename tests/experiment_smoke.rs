@@ -3,9 +3,10 @@
 //! Runs every experiment with `DLT_SMOKE=1` (tiny parameters) through
 //! `cargo run --offline`, asserting each exits 0 and writes a valid,
 //! non-empty JSON report via `DLT_JSON_OUT`. A separate test runs
-//! `e09_throughput` twice with its fixed seed and requires
+//! e04, e09 and e10 twice each with their fixed seeds and requires
 //! byte-identical stdout and JSON — the workspace-wide determinism
-//! guarantee CI leans on.
+//! guarantee CI leans on. A third test runs e09 with `DLT_TRACE=1`
+//! and asserts the emitted event log is parseable, non-empty JSON.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -119,15 +120,62 @@ fn every_experiment_exits_zero_with_a_valid_json_report() {
 }
 
 #[test]
-fn e09_throughput_is_byte_deterministic_across_runs() {
-    let (stdout_first, report_first) = run_experiment("e09_throughput", "b");
-    let (stdout_second, report_second) = run_experiment("e09_throughput", "c");
-    assert_eq!(
-        stdout_first, stdout_second,
-        "e09 stdout differs between seeded runs"
+fn sim_experiments_are_byte_deterministic_across_runs() {
+    // e04 exercises the miner network, e09 the workload adapters,
+    // e10 the consensus primitives — together they cover the
+    // refactored engine, metrics, and payload-sharing paths.
+    for bin in ["e04_forks", "e09_throughput", "e10_consensus"] {
+        let (stdout_first, report_first) = run_experiment(bin, "b");
+        let (stdout_second, report_second) = run_experiment(bin, "c");
+        assert_eq!(
+            stdout_first, stdout_second,
+            "{bin} stdout differs between seeded runs"
+        );
+        assert_eq!(
+            report_first, report_second,
+            "{bin} JSON differs between seeded runs"
+        );
+    }
+}
+
+#[test]
+fn dlt_trace_emits_a_parseable_event_log() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let trace_out = std::env::temp_dir().join(format!("dlt_trace_e09_{}.json", std::process::id()));
+    let output = Command::new(cargo)
+        .current_dir(workspace_root())
+        .args([
+            "run",
+            "--quiet",
+            "--offline",
+            "-p",
+            "dlt-bench",
+            "--bin",
+            "e09_throughput",
+        ])
+        .env("DLT_SMOKE", "1")
+        .env("DLT_TRACE", "1")
+        .env("DLT_TRACE_OUT", &trace_out)
+        .output()
+        .expect("spawn cargo run");
+    assert!(
+        output.status.success(),
+        "traced e09 failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
     );
-    assert_eq!(
-        report_first, report_second,
-        "e09 JSON differs between seeded runs"
-    );
+    let text = std::fs::read_to_string(&trace_out).expect("DLT_TRACE=1 wrote an event log");
+    std::fs::remove_file(&trace_out).ok();
+    let parsed = json::parse(&text).expect("trace log is valid JSON");
+    let events = parsed
+        .get("events")
+        .and_then(|v| v.as_array())
+        .expect("trace log has an events array");
+    assert!(!events.is_empty(), "trace log captured no events");
+    // The workload milestones must be present alongside any engine
+    // events.
+    let has_mark = events.iter().any(|e| {
+        e.get("type").and_then(|v| v.as_str()) == Some("mark")
+            && e.get("label").and_then(|v| v.as_str()) == Some("workload.offered")
+    });
+    assert!(has_mark, "trace log is missing workload milestone marks");
 }
