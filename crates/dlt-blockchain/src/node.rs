@@ -137,6 +137,8 @@ pub struct MinerNode<T> {
     mining_parent: Option<Digest>,
     /// Gossip dedup: everything this node has already relayed.
     seen: HashSet<Digest>,
+    /// Deepest reorg this node has suffered (blocks reverted at once).
+    deepest_reorg: u64,
     /// Metric handles, registered in `on_start`.
     metrics: Option<MinerMetrics>,
 }
@@ -153,6 +155,7 @@ impl<T: LedgerTx> MinerNode<T> {
             job_seq: 0,
             mining_parent: None,
             seen: HashSet::new(),
+            deepest_reorg: 0,
             metrics: None,
         }
     }
@@ -170,6 +173,15 @@ impl<T: LedgerTx> MinerNode<T> {
     /// This node's mempool.
     pub fn mempool(&self) -> &Mempool<T> {
         &self.mempool
+    }
+
+    /// The deepest reorg this node has suffered: the largest number of
+    /// blocks reverted by a single branch switch. Zero on a node that
+    /// never left the winning chain — the per-node view of the paper's
+    /// §IV-A confirmation-confidence argument (a 6-block rule only
+    /// holds while reorgs stay shallower than 6).
+    pub fn deepest_reorg(&self) -> u64 {
+        self.deepest_reorg
     }
 
     /// Computes the difficulty for a block extending `parent_id`.
@@ -290,6 +302,7 @@ impl<T: LedgerTx> MinerNode<T> {
                 ctx.metrics().inc(m.reorgs);
                 ctx.metrics().record(m.reorg_depth, reverted.len() as f64);
                 ctx.trace_mark("miner.reorg_depth", reverted.len() as u64);
+                self.deepest_reorg = self.deepest_reorg.max(reverted.len() as u64);
                 // Orphaned transactions go back to the pool first, then
                 // the new branch claims its own.
                 let mut reinstate = Vec::new();

@@ -68,6 +68,7 @@ struct DagMetrics {
     losing_branches_rolled_back: CounterId,
     confirmed_unadoptable: CounterId,
     blocks_confirmed: CounterId,
+    vote_flips: CounterId,
     confirm_latency_ms: SeriesId,
 }
 
@@ -82,6 +83,7 @@ impl DagMetrics {
             losing_branches_rolled_back: metrics.counter("dag.losing_branches_rolled_back"),
             confirmed_unadoptable: metrics.counter("dag.confirmed_unadoptable"),
             blocks_confirmed: metrics.counter("dag.blocks_confirmed"),
+            vote_flips: metrics.counter("dag.vote_flips"),
             confirm_latency_ms: metrics.series("dag.confirm_latency_ms"),
         }
     }
@@ -250,7 +252,15 @@ impl DagNode {
     fn handle_vote(&mut self, ctx: &mut Context<'_, DagMsg>, vote: Vote) {
         let weight = self.lattice.weight(&vote.representative);
         let total = self.lattice.total_supply();
-        if let Some(winner) = self.elections.tally(vote, weight, total) {
+        let flips_before = self.elections.vote_flips();
+        let winner = self.elections.tally(vote, weight, total);
+        let flips = self.elections.vote_flips() - flips_before;
+        if flips > 0 {
+            let m = self.handles();
+            ctx.metrics().add(m.vote_flips, flips);
+            ctx.trace_mark("dag.vote_flip", flips);
+        }
+        if let Some(winner) = winner {
             self.apply_confirmation(ctx, vote.root, winner);
         }
     }

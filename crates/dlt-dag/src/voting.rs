@@ -70,20 +70,27 @@ impl Election {
     /// Registers (or moves) a representative's vote with its current
     /// weight. Re-votes shift the weight between candidates — Nano
     /// representatives may switch to the network's emerging winner.
-    pub fn vote(&mut self, representative: Address, weight: u64, candidate: Digest) {
+    /// Returns `true` when the vote changed which candidate leads (a
+    /// *vote flip* — the observable instability adverse networks cause).
+    pub fn vote(&mut self, representative: Address, weight: u64, candidate: Digest) -> bool {
+        let leader_before = self.leader().map(|(hash, _)| hash);
         if let Some(previous) = self.voted.insert(representative, candidate) {
             if previous == candidate {
                 // Same candidate: refresh only (weights here are
                 // supplied per call; avoid double counting).
                 let tally = self.tallies.entry(candidate).or_insert(0);
                 *tally = (*tally).max(weight);
-                return;
+            } else {
+                if let Some(tally) = self.tallies.get_mut(&previous) {
+                    *tally = tally.saturating_sub(weight);
+                }
+                *self.tallies.entry(candidate).or_insert(0) += weight;
             }
-            if let Some(tally) = self.tallies.get_mut(&previous) {
-                *tally = tally.saturating_sub(weight);
-            }
+        } else {
+            *self.tallies.entry(candidate).or_insert(0) += weight;
         }
-        *self.tallies.entry(candidate).or_insert(0) += weight;
+        let leader_after = self.leader().map(|(hash, _)| hash);
+        leader_before.is_some() && leader_before != leader_after
     }
 
     /// The leading candidate and its weight.
@@ -132,6 +139,8 @@ pub struct ElectionManager {
     /// (paper §IV-B: "majority vote" — default 0.5; Nano mainnet uses
     /// a 0.67 online-weight quorum, which `e06` sweeps).
     quorum_fraction: f64,
+    /// How many tallied votes flipped an election's leader.
+    flips: u64,
 }
 
 impl ElectionManager {
@@ -148,7 +157,15 @@ impl ElectionManager {
         ElectionManager {
             elections: HashMap::new(),
             quorum_fraction,
+            flips: 0,
         }
+    }
+
+    /// How many tallied votes changed an election's leading candidate
+    /// so far — stable at zero on a healthy network, rising when drops
+    /// or partitions let minority candidates take an early lead.
+    pub fn vote_flips(&self) -> u64 {
+        self.flips
     }
 
     /// The quorum weight implied by a total delegated weight.
@@ -176,7 +193,9 @@ impl ElectionManager {
         let quorum = self.quorum_weight(total_weight);
         let election = self.elections.entry(vote.root).or_default();
         let already = election.confirmed().is_some();
-        election.vote(vote.representative, weight, vote.candidate);
+        if election.vote(vote.representative, weight, vote.candidate) {
+            self.flips += 1;
+        }
         let result = election.try_confirm(quorum);
         if already {
             None
@@ -320,6 +339,39 @@ mod tests {
         v2.candidate = sha256(b"y");
         assert_ne!(v1.dedup_key(), v2.dedup_key());
         assert_eq!(v1.dedup_key(), v1.dedup_key());
+    }
+
+    #[test]
+    fn vote_reports_leader_flips() {
+        let mut e = Election::new();
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        // First vote establishes a leader — no flip.
+        assert!(!e.vote(rep("r1"), 100, a));
+        // A rival overtaking the leader flips it.
+        assert!(e.vote(rep("r2"), 200, b));
+        // Reinforcing the current leader does not.
+        assert!(!e.vote(rep("r3"), 50, b));
+        // The original voter defecting to the loser flips it back.
+        assert!(e.vote(rep("r2"), 200, a));
+    }
+
+    #[test]
+    fn manager_counts_flips_across_elections() {
+        let mut m = ElectionManager::new(0.9);
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        let vote = |r: &str, candidate| Vote {
+            representative: rep(r),
+            root: root(),
+            candidate,
+        };
+        m.tally(vote("r1", a), 100, 1000);
+        assert_eq!(m.vote_flips(), 0);
+        m.tally(vote("r2", b), 200, 1000);
+        assert_eq!(m.vote_flips(), 1);
+        m.tally(vote("r3", a), 500, 1000);
+        assert_eq!(m.vote_flips(), 2);
     }
 
     #[test]

@@ -13,14 +13,18 @@
 //! shared behind [`Payload`] (an `Rc`), so an N-peer broadcast
 //! allocates the message once and every relay re-shares the same
 //! allocation; the engine's own counters go through pre-interned
-//! [`crate::metrics::CounterId`] handles. Every schedule, dispatch,
-//! and network-drop point also calls the installed [`Tracer`] (a
-//! no-op unless one is installed via [`Simulation::set_tracer`]).
+//! [`crate::metrics::CounterId`] handles. Every send, schedule,
+//! dispatch, and network-drop point also calls the installed
+//! [`Tracer`] (a no-op unless one is installed via
+//! [`Simulation::set_tracer`]), and every send consults the installed
+//! fault [`Interceptor`] (none by default — see
+//! [`Simulation::set_interceptor`]).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
 
+use crate::fault::Interceptor;
 use crate::latency::LatencyModel;
 use crate::metrics::{CounterId, Metrics};
 use crate::network::{Network, NodeId};
@@ -128,6 +132,9 @@ struct Core<M> {
     tracer: Box<dyn Tracer>,
     // Cached tracer.enabled() so emit points cost one branch when off.
     tracing: bool,
+    // Fault-injection / replay hook; `None` keeps the send path on the
+    // plain network-model branch.
+    interceptor: Option<Box<dyn Interceptor>>,
 }
 
 impl<M> Core<M> {
@@ -145,7 +152,18 @@ impl<M> Core<M> {
     }
 
     fn send_from(&mut self, from: NodeId, to: NodeId, msg: Payload<M>) {
-        let deliveries = self.network.deliveries(from, to, &mut self.rng);
+        let mut deliveries = self.network.deliveries(from, to, &mut self.rng);
+        if let Some(interceptor) = self.interceptor.as_deref_mut() {
+            interceptor.intercept(self.now, from, to, &mut deliveries);
+        }
+        if self.tracing {
+            self.tracer.trace(TraceEvent::Sent {
+                at: self.now,
+                from,
+                to,
+                deliveries: deliveries.len() as u32,
+            });
+        }
         if deliveries.is_empty() {
             if self.tracing {
                 self.tracer.trace(TraceEvent::Dropped {
@@ -284,6 +302,7 @@ impl<M, N: SimNode<M>> Simulation<M, N> {
                 net_messages,
                 tracer: Box::new(NoopTracer),
                 tracing: false,
+                interceptor: None,
             },
         }
     }
@@ -294,6 +313,20 @@ impl<M, N: SimNode<M>> Simulation<M, N> {
     pub fn set_tracer(&mut self, tracer: impl Tracer + 'static) {
         self.core.tracing = tracer.enabled();
         self.core.tracer = Box::new(tracer);
+    }
+
+    /// Installs a fault-injection (or replay) interceptor that will
+    /// see every send from now on, after the network model samples the
+    /// baseline deliveries. Sends issued before installation — e.g.
+    /// `on_start` bootstrap traffic — are not intercepted.
+    pub fn set_interceptor(&mut self, interceptor: impl Interceptor + 'static) {
+        self.core.interceptor = Some(Box::new(interceptor));
+    }
+
+    /// Removes any installed interceptor, restoring the plain
+    /// network-model send path.
+    pub fn clear_interceptor(&mut self) {
+        self.core.interceptor = None;
     }
 
     /// Adds a node and invokes its [`SimNode::on_start`]. Returns the
@@ -751,7 +784,16 @@ mod tests {
             .filter(|e| matches!(e, TraceEvent::Dropped { .. }))
             .count();
         // One delivery and one timer were scheduled and dispatched;
-        // the second send was dropped by the lossy network.
+        // the second send was dropped by the lossy network. Each of
+        // the two send attempts also emitted a Sent event.
+        let sent: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Sent { deliveries, .. } => Some(*deliveries),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sent, vec![1, 0]);
         assert_eq!(schedules, 2);
         assert_eq!(drops, 1);
         assert_eq!(
@@ -772,7 +814,110 @@ mod tests {
         // The captured log renders to parseable JSON.
         let text = log.to_json().to_string();
         let parsed = dlt_testkit::json::parse(&text).expect("trace log parses");
-        assert_eq!(parsed.get("n").and_then(|v| v.as_f64()), Some(5.0));
+        assert_eq!(parsed.get("n").and_then(|v| v.as_f64()), Some(7.0));
+    }
+
+    #[test]
+    fn interceptor_partition_heals_after_window() {
+        use crate::fault::FaultInterceptor;
+        let mut sim = Simulation::new(21, fixed(10));
+        let a = sim.add_node(Recorder::default());
+        let b = sim.add_node(Recorder::default());
+        sim.set_interceptor(
+            FaultInterceptor::new(1)
+                .partition(2, &[&[a], &[b]])
+                .during(SimTime::ZERO, SimTime::from_secs(1)),
+        );
+        sim.send_external(a, b, Msg::Ping(1));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.node(b).received.is_empty());
+        sim.send_external(a, b, Msg::Ping(2));
+        sim.run_until_idle(SimTime::from_secs(2));
+        assert_eq!(sim.node(b).received.len(), 1);
+        assert_eq!(sim.node(b).received[0].1, Msg::Ping(2));
+    }
+
+    #[test]
+    fn interceptor_drop_still_counts_as_dropped() {
+        use crate::fault::FaultInterceptor;
+        let tracer = RecordingTracer::new();
+        let log = tracer.log();
+        let mut sim = Simulation::new(22, fixed(10));
+        sim.set_tracer(tracer);
+        let a = sim.add_node(Recorder::default());
+        let b = sim.add_node(Recorder::default());
+        sim.set_interceptor(FaultInterceptor::new(2).drop_messages(1.0));
+        sim.send_external(a, b, Msg::Ping(1));
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert!(sim.node(b).received.is_empty());
+        let events = log.snapshot();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Dropped { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Sent { deliveries: 0, .. })));
+    }
+
+    #[test]
+    fn recorded_run_replays_identically() {
+        use crate::fault::{FaultInterceptor, ReplayInterceptor, ReplayScript};
+
+        fn build(seed: u64) -> Simulation<Msg, Recorder> {
+            let mut sim = Simulation::new(
+                seed,
+                LatencyModel::Uniform {
+                    min: SimTime::from_millis(1),
+                    max: SimTime::from_millis(40),
+                },
+            );
+            sim.add_node(Recorder::default());
+            sim.add_node(Recorder {
+                reply: true,
+                ..Default::default()
+            });
+            sim
+        }
+        fn drive(sim: &mut Simulation<Msg, Recorder>) {
+            let (a, b) = (NodeId(0), NodeId(1));
+            for i in 0..20 {
+                sim.send_external(a, b, Msg::Ping(i));
+            }
+            sim.run_until_idle(SimTime::from_secs(10));
+        }
+        fn outcome(sim: &Simulation<Msg, Recorder>) -> Vec<(NodeId, Msg, SimTime)> {
+            let mut all = sim.node(NodeId(0)).received.clone();
+            all.extend(sim.node(NodeId(1)).received.iter().cloned());
+            all
+        }
+
+        // Record a faulty run.
+        let tracer = RecordingTracer::new();
+        let log = tracer.log();
+        let mut recording = build(77);
+        recording.set_tracer(tracer);
+        recording.set_interceptor(
+            FaultInterceptor::new(5)
+                .drop_messages(0.2)
+                .reorder(0.5, SimTime::from_millis(30)),
+        );
+        drive(&mut recording);
+
+        // Replay it twice from the captured script: same seed, same
+        // workload, ReplayInterceptor instead of the fault stack.
+        let script = ReplayScript::from_log(&log);
+        let mut outcomes = Vec::new();
+        for _ in 0..2 {
+            let replay = ReplayInterceptor::new(script.clone());
+            let cursor = replay.cursor();
+            let mut sim = build(77);
+            sim.set_interceptor(replay);
+            drive(&mut sim);
+            assert_eq!(cursor.consumed(), script.len(), "script fully consumed");
+            outcomes.push(outcome(&sim));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcome(&recording));
     }
 
     dlt_testkit::prop! {

@@ -21,8 +21,12 @@
 //!   raw material of every experiment table. Hot paths use pre-interned
 //!   [`metrics::CounterId`]/[`metrics::SeriesId`] handles.
 //! * [`trace`] — the [`trace::Tracer`] hook the engine calls at every
-//!   schedule/dispatch/drop point, with a recording implementation for
-//!   tests and the `DLT_TRACE` experiment mode.
+//!   send/schedule/dispatch/drop point, with a recording implementation
+//!   for tests and the `DLT_TRACE` experiment mode.
+//! * [`fault`] — the [`fault::Interceptor`] hook the engine consults on
+//!   every send: seed-driven fault policies (drop, delay, duplicate,
+//!   reorder, partition, Byzantine lag) and deterministic replay of a
+//!   recorded [`trace::TraceLog`].
 //!
 //! Determinism: given the same seed and the same sequence of API calls,
 //! a simulation replays identically (events are ordered by time with a
@@ -57,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod network;
@@ -65,5 +70,6 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Context, Payload, SimNode, Simulation};
+pub use fault::{FaultInterceptor, Interceptor, ReplayInterceptor, ReplayScript};
 pub use network::NodeId;
 pub use time::SimTime;

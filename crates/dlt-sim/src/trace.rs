@@ -1,8 +1,8 @@
 //! Event tracing hooks for the discrete-event engine.
 //!
-//! The engine calls a [`Tracer`] at every schedule, dispatch, and
-//! network-drop point; protocol code can add its own [`TraceEvent::Mark`]
-//! observations through `Context::trace_mark`. The default
+//! The engine calls a [`Tracer`] at every send, schedule, dispatch,
+//! and network-drop point; protocol code can add its own
+//! [`TraceEvent::Mark`] observations through `Context::trace_mark`. The default
 //! [`NoopTracer`] reports itself disabled, so the engine skips event
 //! construction entirely on the hot path. A [`RecordingTracer`]
 //! captures events into a shared buffer for tests and for the
@@ -39,6 +39,23 @@ pub enum EventKind {
 /// One observation from the engine or a protocol-level mark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
+    /// A node attempted a send. Emitted once per send, after the
+    /// network model and any installed
+    /// [`Interceptor`](crate::fault::Interceptor) decided its fate,
+    /// carrying the final delivery count (`0` = dropped; `2+` =
+    /// duplicated). The `deliveries` Schedule events that follow a
+    /// `Sent` belong to it — that grouping is what
+    /// [`ReplayScript`](crate::fault::ReplayScript) reconstructs.
+    Sent {
+        /// Simulated time of the send.
+        at: SimTime,
+        /// The sending node.
+        from: NodeId,
+        /// The addressed recipient.
+        to: NodeId,
+        /// How many deliveries were scheduled for this send.
+        deliveries: u32,
+    },
     /// An event entered the queue.
     Schedule {
         /// Simulated time the event will fire at.
@@ -171,6 +188,18 @@ fn kind_to_json(obj: &mut std::collections::BTreeMap<String, Json>, kind: &Event
 fn event_to_json(event: &TraceEvent) -> Json {
     let mut obj = std::collections::BTreeMap::new();
     match event {
+        TraceEvent::Sent {
+            at,
+            from,
+            to,
+            deliveries,
+        } => {
+            obj.insert("type".to_string(), Json::String("send".to_string()));
+            obj.insert("at_us".to_string(), Json::Number(at.as_micros() as f64));
+            obj.insert("from".to_string(), Json::Number(from.0 as f64));
+            obj.insert("to".to_string(), Json::Number(to.0 as f64));
+            obj.insert("n".to_string(), Json::Number(*deliveries as f64));
+        }
         TraceEvent::Schedule { at, seq, kind } => {
             obj.insert("type".to_string(), Json::String("schedule".to_string()));
             obj.insert("at_us".to_string(), Json::Number(at.as_micros() as f64));

@@ -1,9 +1,9 @@
-//! Smoke coverage for the e01–e17 experiment binaries.
+//! Smoke coverage for the e01–e18 experiment binaries.
 //!
 //! Runs every experiment with `DLT_SMOKE=1` (tiny parameters) through
 //! `cargo run --offline`, asserting each exits 0 and writes a valid,
 //! non-empty JSON report via `DLT_JSON_OUT`. A separate test runs
-//! e04, e09 and e10 twice each with their fixed seeds and requires
+//! e04, e09, e10 and e18 twice each with their fixed seeds and requires
 //! byte-identical stdout and JSON — the workspace-wide determinism
 //! guarantee CI leans on. A third test runs e09 with `DLT_TRACE=1`
 //! and asserts the emitted event log is parseable, non-empty JSON.
@@ -32,6 +32,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("e15_energy", "e15"),
     ("e16_plasma", "e16"),
     ("e17_tangle", "e17"),
+    ("e18_faults", "e18"),
 ];
 
 fn workspace_root() -> PathBuf {
@@ -122,9 +123,10 @@ fn every_experiment_exits_zero_with_a_valid_json_report() {
 #[test]
 fn sim_experiments_are_byte_deterministic_across_runs() {
     // e04 exercises the miner network, e09 the workload adapters,
-    // e10 the consensus primitives — together they cover the
-    // refactored engine, metrics, and payload-sharing paths.
-    for bin in ["e04_forks", "e09_throughput", "e10_consensus"] {
+    // e10 the consensus primitives, e18 the fault-injection
+    // interceptor — together they cover the refactored engine,
+    // metrics, payload-sharing, and fault paths.
+    for bin in ["e04_forks", "e09_throughput", "e10_consensus", "e18_faults"] {
         let (stdout_first, report_first) = run_experiment(bin, "b");
         let (stdout_second, report_second) = run_experiment(bin, "c");
         assert_eq!(

@@ -5,6 +5,11 @@
 //! most-work branch and the loser's blocks are orphaned. The DAG keeps
 //! *disjoint account activity* consistent across a partition — chains
 //! only conflict if one account signs on both sides.
+//!
+//! The partition itself is imposed by the `dlt-sim` fault layer: a
+//! [`FaultInterceptor`] partition rule with a `during` window, so the
+//! split heals by schedule instead of by mutating the network fabric
+//! mid-run.
 
 use dlt_blockchain::block::Block;
 use dlt_blockchain::difficulty::RetargetParams;
@@ -15,6 +20,7 @@ use dlt_dag::account::NanoAccount;
 use dlt_dag::lattice::LatticeParams;
 use dlt_dag::node::{DagMsg, DagNode, DagNodeConfig};
 use dlt_sim::engine::Simulation;
+use dlt_sim::fault::FaultInterceptor;
 use dlt_sim::latency::LatencyModel;
 use dlt_sim::network::NodeId;
 use dlt_sim::time::SimTime;
@@ -38,6 +44,7 @@ fn miner_config(rate: f64) -> MinerConfig<UtxoTx> {
 
 #[test]
 fn blockchain_partition_forks_then_converges() {
+    let heal = SimTime::from_secs(120);
     let mut sim: Simulation<NetMsg<UtxoTx>, MinerNode<UtxoTx>> =
         Simulation::new(5, LatencyModel::Fixed(SimTime::from_millis(20)));
     // Unequal halves so one side accumulates more work.
@@ -46,8 +53,12 @@ fn blockchain_partition_forks_then_converges() {
     }
     let left = [NodeId(0), NodeId(1)];
     let right = [NodeId(2), NodeId(3)];
-    sim.network_mut().partition(4, &[&left, &right]);
-    sim.run_until(SimTime::from_secs(120));
+    sim.set_interceptor(
+        FaultInterceptor::new(1)
+            .partition(4, &[&left, &right])
+            .during(SimTime::ZERO, heal),
+    );
+    sim.run_until(heal);
 
     let left_tip = sim.node(NodeId(0)).chain().tip();
     let right_tip = sim.node(NodeId(2)).chain().tip();
@@ -56,8 +67,8 @@ fn blockchain_partition_forks_then_converges() {
     let right_height = sim.node(NodeId(2)).chain().tip_height();
     assert!(left_height > right_height, "heavy side mined more");
 
-    // Heal and cross-pollinate: each side releases its branch.
-    sim.network_mut().heal();
+    // The window has expired — the split is healed. Cross-pollinate:
+    // each side releases its branch.
     for (from, to_side) in [(NodeId(0), right), (NodeId(2), left)] {
         let branch: Vec<_> = sim.node(from).chain().iter_active().cloned().collect();
         for block in branch.into_iter().skip(1) {
@@ -99,6 +110,7 @@ fn dag_partition_with_disjoint_accounts_merges_cleanly() {
         bootstrap.push(account.receive(hash, 100_000).unwrap());
     }
 
+    let heal = SimTime::from_secs(20);
     let mut sim: Simulation<DagMsg, DagNode> =
         Simulation::new(6, LatencyModel::Fixed(SimTime::from_millis(15)));
     for i in 0..4usize {
@@ -121,8 +133,11 @@ fn dag_partition_with_disjoint_accounts_merges_cleanly() {
         }
         sim.add_node(node);
     }
-    sim.network_mut()
-        .partition(4, &[&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]]);
+    sim.set_interceptor(
+        FaultInterceptor::new(2)
+            .partition(4, &[&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]])
+            .during(SimTime::ZERO, heal),
+    );
 
     // Each side's account transacts independently.
     let left_send = left_account
@@ -151,9 +166,10 @@ fn dag_partition_with_disjoint_accounts_merges_cleanly() {
     assert!(!sim.node(NodeId(0)).lattice().contains(&rh));
     assert!(sim.node(NodeId(2)).lattice().contains(&rh));
 
-    // Heal: republish both blocks network-wide; no conflicts — both
-    // blocks coexist because they live on different account chains.
-    sim.network_mut().heal();
+    // Let the partition window expire, then republish both blocks
+    // network-wide; no conflicts — both blocks coexist because they
+    // live on different account chains.
+    sim.run_until(heal);
     let left_block = sim.node(NodeId(0)).lattice().block(&lh).unwrap().clone();
     let right_block = sim.node(NodeId(2)).lattice().block(&rh).unwrap().clone();
     for i in 0..4 {
