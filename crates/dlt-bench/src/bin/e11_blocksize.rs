@@ -11,7 +11,7 @@
 //! the fork rate (measured on the miner network with size-scaled
 //! latency) and the hardware demanded of full nodes.
 
-use dlt_bench::{banner, trace, Table};
+use dlt_bench::{banner, print_dispatch_hash, trace, Table};
 use dlt_blockchain::block::Block;
 use dlt_blockchain::difficulty::RetargetParams;
 use dlt_blockchain::node::{MinerConfig, MinerNode, NetMsg};
@@ -85,6 +85,7 @@ fn main() {
         }
         trace.install(&mut sim);
         sim.run_until(SimTime::from_secs(2_000));
+        print_dispatch_hash(&format!("block-size-{mb}mb"), &sim);
         let total = sim.node(NodeId(0)).chain().block_count();
         let stale = sim.node(NodeId(0)).chain().stale_block_count();
         let fork_rate = stale as f64 / total as f64;

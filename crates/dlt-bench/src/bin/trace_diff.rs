@@ -1,0 +1,99 @@
+//! `trace_diff` — replay-driven bisection over two `DLT_TRACE` logs.
+//!
+//! A recorded trace pins the engine's full schedule/dispatch event
+//! stream. Diff the traces of two runs — before and after a code
+//! change, or two seeds suspected to be the same — and the *first
+//! diverging event* localizes a nondeterminism or behaviour change far
+//! more precisely than the first diverging metric in the printed
+//! tables.
+//!
+//! ```text
+//! DLT_TRACE=1 DLT_TRACE_OUT=a.json cargo run -p dlt-bench --bin e18_faults
+//! DLT_TRACE=1 DLT_TRACE_OUT=b.json cargo run -p dlt-bench --bin e18_faults
+//! cargo run -p dlt-bench --bin trace_diff -- a.json b.json
+//! ```
+//!
+//! Exit status: `0` when the traces are identical, `1` on divergence,
+//! `2` on usage or parse errors.
+
+use std::process::ExitCode;
+
+use dlt_testkit::json::{self, Json};
+
+/// How many events around the divergence point to print from each
+/// trace.
+const CONTEXT: usize = 3;
+
+fn load(path: &str) -> Result<Vec<Json>, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let doc = json::parse(&text).map_err(|err| format!("cannot parse {path}: {err:?}"))?;
+    let events = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: not a trace log (no `events` array)"))?;
+    Ok(events.to_vec())
+}
+
+fn describe(event: &Json) -> String {
+    event.to_string()
+}
+
+fn print_context(label: &str, events: &[Json], diverged_at: usize) {
+    let start = diverged_at.saturating_sub(CONTEXT);
+    let end = (diverged_at + 1).min(events.len());
+    for (offset, event) in events.iter().enumerate().take(end).skip(start) {
+        let marker = if offset == diverged_at { ">" } else { " " };
+        println!("  {marker} {label}[{offset}] {}", describe(event));
+    }
+    if diverged_at >= events.len() {
+        println!("  > {label}[{diverged_at}] <end of trace>");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [a_path, b_path] = args.as_slice() else {
+        eprintln!("usage: trace_diff <trace_a.json> <trace_b.json>");
+        return ExitCode::from(2);
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("trace_diff: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let common = a.len().min(b.len());
+    let diverged_at = (0..common).find(|&i| a[i] != b[i]);
+
+    match diverged_at {
+        None if a.len() == b.len() => {
+            println!("trace_diff: identical ({} events)", a.len());
+            ExitCode::SUCCESS
+        }
+        None => {
+            // Equal prefix, one trace continues: the divergence is the
+            // first event past the shorter trace's end.
+            println!(
+                "trace_diff: {a_path} has {} events, {b_path} has {} — identical for the \
+                 first {common}, then one trace ends",
+                a.len(),
+                b.len()
+            );
+            print_context(a_path, &a, common);
+            print_context(b_path, &b, common);
+            ExitCode::from(1)
+        }
+        Some(at) => {
+            println!(
+                "trace_diff: first divergence at event {at} ({} vs {} events)",
+                a.len(),
+                b.len()
+            );
+            print_context(a_path, &a, at);
+            print_context(b_path, &b, at);
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Dispatch-hash determinism regression tests over e18's six fault
+//! scenarios (active only with `--features det-sanitizer`).
+//!
+//! PR 3 asserts e18 smoke byte-determinism at the JSON level; these
+//! tests assert it one layer deeper — the engine's per-event dispatch
+//! hash — so a nondeterminism bug is caught even when it cancels out
+//! of the aggregated report. Each scenario is built and run twice from
+//! the same seed via `dlt_bench::faults` (the exact code the e18
+//! binary drives) and both runs must fold the identical
+//! `(time, seq, node, msg)` dispatch sequence.
+
+#![cfg(feature = "det-sanitizer")]
+
+use dlt_bench::faults::{run_blockchain_scenario, run_dag_scenario, scenarios};
+use dlt_sim::time::SimTime;
+use dlt_testkit::det::assert_deterministic;
+
+#[test]
+fn blockchain_scenarios_dispatch_hash_is_deterministic() {
+    // Shorter than the smoke run: the hash covers every dispatch, so a
+    // divergence shows up within seconds of simulated time.
+    let run = SimTime::from_secs(30);
+    for (i, scenario) in scenarios().iter().enumerate() {
+        assert_deterministic(i as u64, |_| {
+            let sim = run_blockchain_scenario(i, scenario, run, |_| {});
+            sim.dispatch_hash()
+        });
+    }
+}
+
+#[test]
+fn dag_scenarios_dispatch_hash_is_deterministic() {
+    let run = SimTime::from_secs(20);
+    for (i, scenario) in scenarios().iter().enumerate() {
+        assert_deterministic(i as u64, |_| {
+            let sim = run_dag_scenario(i, scenario, 3, run, |_| {});
+            sim.dispatch_hash()
+        });
+    }
+}
+
+#[test]
+fn dispatch_hash_distinguishes_scenarios() {
+    // Sanity check that the hash is actually sensitive: different
+    // fault schedules over the same workload must not collide.
+    let run = SimTime::from_secs(20);
+    let hashes: Vec<u64> = scenarios()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| run_blockchain_scenario(i, s, run, |_| {}).dispatch_hash())
+        .collect();
+    for (i, a) in hashes.iter().enumerate() {
+        for (j, b) in hashes.iter().enumerate().skip(i + 1) {
+            assert_ne!(a, b, "scenario {i} and {j} produced identical hashes");
+        }
+    }
+}
+
+#[test]
+fn msg_digester_changes_the_hash() {
+    // With a payload digester installed the hash must also cover
+    // message content, so it diverges from the digester-free hash.
+    let run = SimTime::from_secs(20);
+    let scenarios = scenarios();
+    let plain = run_blockchain_scenario(0, &scenarios[0], run, |_| {}).dispatch_hash();
+    let digested = run_blockchain_scenario(0, &scenarios[0], run, |sim| {
+        sim.set_msg_digester(|msg| match msg {
+            dlt_blockchain::node::NetMsg::Block(b) => b.header.height,
+            dlt_blockchain::node::NetMsg::Tx(_) => 1,
+        });
+    })
+    .dispatch_hash();
+    assert_ne!(plain, digested);
+}

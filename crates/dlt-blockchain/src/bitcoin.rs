@@ -10,7 +10,7 @@
 //! so the active chain can be rolled back, which is also what Bitcoin's
 //! prune mode must retain (§V-A).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dlt_crypto::keys::Address;
 use dlt_crypto::Digest;
@@ -85,7 +85,7 @@ pub struct BitcoinChain {
     ledger: UtxoLedger,
     /// Undo data for every block on the *active* chain (what prune
     /// mode keeps for recent blocks).
-    undo: HashMap<Digest, BlockUndo>,
+    undo: BTreeMap<Digest, BlockUndo>,
     mempool: Mempool<UtxoTx>,
 }
 
@@ -122,7 +122,7 @@ impl BitcoinChain {
             .apply_block(&genesis, total)
             .expect("genesis allocation is valid by construction");
         let genesis_id = genesis.id();
-        let mut undo = HashMap::new();
+        let mut undo = BTreeMap::new();
         undo.insert(genesis_id, undo_genesis);
         BitcoinChain {
             mempool: Mempool::new(params.mempool_capacity),

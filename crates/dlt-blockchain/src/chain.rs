@@ -15,7 +15,7 @@
 //! pool and are connected when the parent shows up (out-of-order
 //! gossip delivery is routine in the simulations).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dlt_crypto::Digest;
 
@@ -95,10 +95,10 @@ const MAX_ORPHANS: usize = 1024;
 
 /// A store of all observed blocks with most-work fork choice.
 pub struct ChainStore<T> {
-    blocks: HashMap<Digest, StoredBlock<T>>,
-    children: HashMap<Digest, Vec<Digest>>,
+    blocks: BTreeMap<Digest, StoredBlock<T>>,
+    children: BTreeMap<Digest, Vec<Digest>>,
     /// Orphans keyed by the missing parent id.
-    orphans: HashMap<Digest, Vec<Block<T>>>,
+    orphans: BTreeMap<Digest, Vec<Block<T>>>,
     orphan_arrivals: Vec<Digest>,
     /// Active chain by height: `active[h]` is the active block at
     /// height `h`.
@@ -118,7 +118,7 @@ impl<T: LedgerTx> ChainStore<T> {
     pub fn new(genesis: Block<T>, validate_pow: bool) -> Self {
         assert!(genesis.header.is_genesis(), "genesis block required");
         let id = genesis.id();
-        let mut blocks = HashMap::new();
+        let mut blocks = BTreeMap::new();
         blocks.insert(
             id,
             StoredBlock {
@@ -129,8 +129,8 @@ impl<T: LedgerTx> ChainStore<T> {
         );
         ChainStore {
             blocks,
-            children: HashMap::new(),
-            orphans: HashMap::new(),
+            children: BTreeMap::new(),
+            orphans: BTreeMap::new(),
             orphan_arrivals: Vec::new(),
             active: vec![id],
             genesis: id,

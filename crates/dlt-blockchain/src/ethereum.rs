@@ -19,7 +19,7 @@
 //!   block (head − `pivot_offset`): recent headers/blocks + receipts +
 //!   the pivot's verified state closure, never replaying history.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dlt_crypto::keys::Address;
 use dlt_crypto::Digest;
@@ -94,9 +94,9 @@ pub struct EthereumChain {
     chain: ChainStore<AccountTx>,
     state: StateDb,
     /// Post-execution state root per connected, validated block.
-    roots: HashMap<Digest, Digest>,
+    roots: BTreeMap<Digest, Digest>,
     /// Receipts per connected, validated block.
-    receipts: HashMap<Digest, Vec<Receipt>>,
+    receipts: BTreeMap<Digest, Vec<Receipt>>,
     mempool: Mempool<AccountTx>,
 }
 
@@ -124,7 +124,7 @@ impl EthereumChain {
         };
         let genesis = Block::new(genesis_header, vec![]);
         let genesis_id = genesis.id();
-        let mut roots = HashMap::new();
+        let mut roots = BTreeMap::new();
         roots.insert(genesis_id, root);
         EthereumChain {
             mempool: Mempool::new(params.mempool_capacity),
@@ -132,7 +132,7 @@ impl EthereumChain {
             chain: ChainStore::new(genesis, false),
             state,
             roots,
-            receipts: HashMap::new(),
+            receipts: BTreeMap::new(),
         }
     }
 
@@ -211,7 +211,7 @@ impl EthereumChain {
         // Consider the whole pool — a capacity-bounded candidate subset
         // would cut nonce chains arbitrarily and stall senders.
         let candidates = self.mempool.select_for_block(u64::MAX);
-        let mut queues: HashMap<Address, Vec<AccountTx>> = HashMap::new();
+        let mut queues: BTreeMap<Address, Vec<AccountTx>> = BTreeMap::new();
         for tx in candidates {
             queues.entry(tx.sender()).or_default().push(tx);
         }
@@ -387,7 +387,8 @@ impl EthereumChain {
             .filter_map(|id| self.roots.get(id).copied())
             .collect();
         // Forget the root index for pruned heights too.
-        let keep_set: std::collections::HashSet<Digest> = active[start..].iter().copied().collect();
+        let keep_set: std::collections::BTreeSet<Digest> =
+            active[start..].iter().copied().collect();
         self.roots.retain(|block, _| keep_set.contains(block));
         self.receipts.retain(|block, _| keep_set.contains(block));
         self.state.trie_mut().collect_garbage(&live_roots)

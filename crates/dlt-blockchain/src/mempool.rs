@@ -11,7 +11,7 @@
 //! [reinstated](Mempool::reinstate) — the paper: "orphaned transactions
 //! need to be included in a new block".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dlt_crypto::Digest;
 
@@ -20,7 +20,7 @@ use crate::block::LedgerTx;
 /// A fee-rate-prioritised set of pending transactions.
 #[derive(Debug, Clone)]
 pub struct Mempool<T> {
-    txs: HashMap<Digest, T>,
+    txs: BTreeMap<Digest, T>,
     capacity: usize,
 }
 
@@ -29,7 +29,7 @@ impl<T: LedgerTx> Mempool<T> {
     /// a new transaction only enters by evicting a lower fee-rate one.
     pub fn new(capacity: usize) -> Self {
         Mempool {
-            txs: HashMap::new(),
+            txs: BTreeMap::new(),
             capacity,
         }
     }

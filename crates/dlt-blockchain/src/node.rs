@@ -14,7 +14,7 @@
 //! on top of their received blocks" — network latency does the rest.
 //! The fork-rate experiment (`e04`) measures the consequences.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use dlt_crypto::keys::Address;
 use dlt_crypto::Digest;
@@ -136,7 +136,7 @@ pub struct MinerNode<T> {
     /// The parent the current attempt mines on.
     mining_parent: Option<Digest>,
     /// Gossip dedup: everything this node has already relayed.
-    seen: HashSet<Digest>,
+    seen: BTreeSet<Digest>,
     /// Deepest reorg this node has suffered (blocks reverted at once).
     deepest_reorg: u64,
     /// Metric handles, registered in `on_start`.
@@ -154,7 +154,7 @@ impl<T: LedgerTx> MinerNode<T> {
             config,
             job_seq: 0,
             mining_parent: None,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             deepest_reorg: 0,
             metrics: None,
         }

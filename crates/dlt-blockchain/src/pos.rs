@@ -18,7 +18,7 @@
 //! is *justified*, and a justified checkpoint whose direct child
 //! checkpoint is justified becomes *finalized*.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dlt_crypto::keys::Address;
 use dlt_crypto::sha256::Sha256;
@@ -28,7 +28,7 @@ use dlt_crypto::Digest;
 #[derive(Debug, Clone, Default)]
 pub struct ValidatorSet {
     deposits: BTreeMap<Address, u64>,
-    slashed: HashSet<Address>,
+    slashed: BTreeSet<Address>,
     burned_total: u64,
 }
 
@@ -145,7 +145,7 @@ pub struct EquivocationEvidence {
 /// Watches proposals and reports double-signing.
 #[derive(Debug, Clone, Default)]
 pub struct EquivocationDetector {
-    seen: HashMap<(Address, u64), Digest>,
+    seen: BTreeMap<(Address, u64), Digest>,
 }
 
 impl EquivocationDetector {
@@ -231,11 +231,11 @@ pub enum FfgOutcome {
 pub struct CasperFfg {
     validators: ValidatorSet,
     /// Stake and voters accumulated per (source, target) link.
-    votes: HashMap<(Checkpoint, Checkpoint), (u64, HashSet<Address>)>,
-    justified: HashSet<Checkpoint>,
+    votes: BTreeMap<(Checkpoint, Checkpoint), (u64, BTreeSet<Address>)>,
+    justified: BTreeSet<Checkpoint>,
     finalized: Vec<Checkpoint>,
     /// Per-validator vote history for slashing-condition checks.
-    history: HashMap<Address, Vec<FfgVote>>,
+    history: BTreeMap<Address, Vec<FfgVote>>,
 }
 
 impl CasperFfg {
@@ -248,10 +248,10 @@ impl CasperFfg {
         };
         CasperFfg {
             validators,
-            votes: HashMap::new(),
-            justified: HashSet::from([genesis_cp]),
+            votes: BTreeMap::new(),
+            justified: BTreeSet::from([genesis_cp]),
             finalized: vec![genesis_cp],
-            history: HashMap::new(),
+            history: BTreeMap::new(),
         }
     }
 
@@ -319,7 +319,7 @@ impl CasperFfg {
         let entry = self
             .votes
             .entry((vote.source, vote.target))
-            .or_insert((0, HashSet::new()));
+            .or_insert((0, BTreeSet::new()));
         if !entry.1.insert(vote.validator) {
             return FfgOutcome::Accepted; // duplicate identical vote
         }

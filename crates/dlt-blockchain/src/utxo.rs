@@ -16,7 +16,7 @@
 //! [`LedgerTx`] interface can report fees without a UTXO-set lookup;
 //! validation recomputes the true fee and rejects mismatches.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dlt_crypto::codec::{Decode, DecodeError, Encode};
 use dlt_crypto::keys::{Address, Keypair, PublicKey, Signature};
@@ -276,7 +276,7 @@ impl BlockUndo {
 /// The unspent output set plus block application/undo.
 #[derive(Debug, Clone, Default)]
 pub struct UtxoLedger {
-    utxos: HashMap<OutPoint, TxOutput>,
+    utxos: BTreeMap<OutPoint, TxOutput>,
     /// When false, signatures are assumed valid (Bitcoin's
     /// `assumevalid` behaviour) — used by large network simulations
     /// where per-input hash-based signature checks would dominate
@@ -288,7 +288,7 @@ impl UtxoLedger {
     /// Creates an empty ledger with full signature verification.
     pub fn new() -> Self {
         UtxoLedger {
-            utxos: HashMap::new(),
+            utxos: BTreeMap::new(),
             verify_signatures: true,
         }
     }
@@ -296,7 +296,7 @@ impl UtxoLedger {
     /// Creates a ledger that skips signature checks (`assumevalid`).
     pub fn new_assume_valid() -> Self {
         UtxoLedger {
-            utxos: HashMap::new(),
+            utxos: BTreeMap::new(),
             verify_signatures: false,
         }
     }
@@ -342,14 +342,14 @@ impl UtxoLedger {
     fn validate_regular(
         &self,
         tx: &UtxoTx,
-        block_created: &HashMap<OutPoint, TxOutput>,
-        block_spent: &HashSet<OutPoint>,
+        block_created: &BTreeMap<OutPoint, TxOutput>,
+        block_spent: &BTreeSet<OutPoint>,
     ) -> Result<u64, UtxoError> {
         if tx.outputs.is_empty() {
             return Err(UtxoError::NoOutputs);
         }
         let sighash = tx.sighash();
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let mut input_total = 0u64;
         for input in &tx.inputs {
             if !seen.insert(input.outpoint) || block_spent.contains(&input.outpoint) {
@@ -396,8 +396,8 @@ impl UtxoLedger {
         subsidy: u64,
     ) -> Result<BlockUndo, UtxoError> {
         // Validate first, then mutate: collect fees and stage changes.
-        let mut block_created: HashMap<OutPoint, TxOutput> = HashMap::new();
-        let mut block_spent: HashSet<OutPoint> = HashSet::new();
+        let mut block_created: BTreeMap<OutPoint, TxOutput> = BTreeMap::new();
+        let mut block_spent: BTreeSet<OutPoint> = BTreeSet::new();
         let mut fees = 0u64;
 
         for (i, tx) in block.txs.iter().enumerate() {
@@ -563,7 +563,7 @@ impl Wallet {
         // An address may own several selected outpoints; signing the
         // *same* sighash repeatedly with a one-time key is safe (it
         // yields the identical signature), so cache per address.
-        let mut signed: HashMap<Address, (PublicKey, Signature)> = HashMap::new();
+        let mut signed: BTreeMap<Address, (PublicKey, Signature)> = BTreeMap::new();
         let mut inputs = Vec::with_capacity(selected.len());
         for (outpoint, _, address) in &selected {
             let (pubkey, signature) = match signed.get(address) {

@@ -19,7 +19,7 @@
 //! calculated as the sum of all balances for accounts that chose this
 //! representative") are maintained incrementally on every block.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dlt_crypto::codec::Encode;
 use dlt_crypto::keys::Address;
@@ -144,16 +144,16 @@ impl std::error::Error for LatticeError {}
 #[derive(Debug, Clone)]
 pub struct Lattice {
     params: LatticeParams,
-    blocks: HashMap<Digest, LatticeBlock>,
-    accounts: HashMap<Address, AccountInfo>,
+    blocks: BTreeMap<Digest, LatticeBlock>,
+    accounts: BTreeMap<Address, AccountInfo>,
     /// `previous → successor` per account chain (fork detection).
-    successors: HashMap<Digest, Digest>,
+    successors: BTreeMap<Digest, Digest>,
     /// Unsettled sends by send-block hash.
-    pending: HashMap<Digest, PendingInfo>,
+    pending: BTreeMap<Digest, PendingInfo>,
     /// Settled sends: send hash → receive hash (rollback cascade).
-    received: HashMap<Digest, Digest>,
-    rep_weights: HashMap<Address, u64>,
-    cemented: HashSet<Digest>,
+    received: BTreeMap<Digest, Digest>,
+    rep_weights: BTreeMap<Address, u64>,
+    cemented: BTreeSet<Digest>,
     genesis: Digest,
     total_supply: u64,
 }
@@ -178,13 +178,13 @@ impl Lattice {
         let supply = genesis.balance;
         let mut lattice = Lattice {
             params,
-            blocks: HashMap::new(),
-            accounts: HashMap::new(),
-            successors: HashMap::new(),
-            pending: HashMap::new(),
-            received: HashMap::new(),
-            rep_weights: HashMap::new(),
-            cemented: HashSet::new(),
+            blocks: BTreeMap::new(),
+            accounts: BTreeMap::new(),
+            successors: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            received: BTreeMap::new(),
+            rep_weights: BTreeMap::new(),
+            cemented: BTreeSet::new(),
             genesis: hash,
             total_supply: supply,
         };
@@ -469,7 +469,7 @@ impl Lattice {
 
     fn rollback_touches_cemented(&self, target: &Digest) -> bool {
         let mut stack = vec![*target];
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         while let Some(hash) = stack.pop() {
             if !seen.insert(hash) {
                 continue;

@@ -12,7 +12,7 @@
 //! receive transactions"); nodes that adopted the losing side of a fork
 //! roll it back and adopt the winner. Confirmed blocks are cemented.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dlt_crypto::keys::Address;
 use dlt_crypto::Digest;
@@ -95,16 +95,16 @@ pub struct DagNode {
     elections: ElectionManager,
     config: DagNodeConfig,
     /// Gossip dedup for blocks and votes.
-    seen: HashSet<Digest>,
+    seen: BTreeSet<Digest>,
     /// Blocks whose `previous` has not arrived yet, keyed by that gap.
-    gap_buffer: HashMap<Digest, Vec<LatticeBlock>>,
+    gap_buffer: BTreeMap<Digest, Vec<LatticeBlock>>,
     /// Candidate block bodies per root, so a losing node can adopt the
     /// confirmed winner it rejected earlier.
-    candidates: HashMap<Digest, LatticeBlock>,
+    candidates: BTreeMap<Digest, LatticeBlock>,
     /// Block arrival times (µs) for confirmation-latency metrics.
-    arrival_micros: HashMap<Digest, u64>,
+    arrival_micros: BTreeMap<Digest, u64>,
     /// Locally confirmed blocks.
-    confirmed: HashSet<Digest>,
+    confirmed: BTreeSet<Digest>,
     /// Metric handles, registered in `on_start`.
     metrics: Option<DagMetrics>,
 }
@@ -116,11 +116,11 @@ impl DagNode {
             lattice: Lattice::new(params, genesis),
             elections: ElectionManager::new(config.quorum_fraction),
             config,
-            seen: HashSet::new(),
-            gap_buffer: HashMap::new(),
-            candidates: HashMap::new(),
-            arrival_micros: HashMap::new(),
-            confirmed: HashSet::new(),
+            seen: BTreeSet::new(),
+            gap_buffer: BTreeMap::new(),
+            candidates: BTreeMap::new(),
+            arrival_micros: BTreeMap::new(),
+            confirmed: BTreeSet::new(),
             metrics: None,
         }
     }

@@ -20,7 +20,7 @@
 //!   against lazy/parasite tips at the cost of leaving more honest
 //!   tips behind — the trade-off the `tangle_dynamics` test exercises.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dlt_crypto::sha256::Sha256;
 use dlt_crypto::Digest;
@@ -72,8 +72,8 @@ impl TangleMetrics {
 /// The tangle.
 #[derive(Debug, Clone)]
 pub struct Tangle {
-    sites: HashMap<Digest, Site>,
-    tips: HashSet<Digest>,
+    sites: BTreeMap<Digest, Site>,
+    tips: BTreeSet<Digest>,
     genesis: Digest,
     /// Cumulative weight at which a transaction counts as confirmed.
     confirmation_weight: u64,
@@ -91,7 +91,7 @@ impl Tangle {
     pub fn new(confirmation_weight: u64) -> Self {
         assert!(confirmation_weight > 0, "need a positive threshold");
         let genesis = Self::tx_id(&Digest::ZERO, &[Digest::ZERO, Digest::ZERO], 0);
-        let mut sites = HashMap::new();
+        let mut sites = BTreeMap::new();
         sites.insert(
             genesis,
             Site {
@@ -104,7 +104,7 @@ impl Tangle {
         let m = TangleMetrics::register(&mut metrics);
         Tangle {
             sites,
-            tips: HashSet::from([genesis]),
+            tips: BTreeSet::from([genesis]),
             genesis,
             confirmation_weight,
             metrics,
@@ -248,7 +248,7 @@ impl Tangle {
                 cumulative_weight: 0,
             },
         );
-        for parent in parents.iter().collect::<HashSet<_>>() {
+        for parent in parents.iter().collect::<BTreeSet<_>>() {
             self.sites
                 .get_mut(parent)
                 .expect("checked")
@@ -259,7 +259,7 @@ impl Tangle {
         self.tips.insert(id);
 
         // Propagate +1 weight to every distinct ancestor.
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let mut queue: VecDeque<Digest> = parents.iter().copied().collect();
         let mut updated = 0u64;
         while let Some(ancestor) = queue.pop_front() {

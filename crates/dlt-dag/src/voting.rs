@@ -13,7 +13,7 @@
 //! seen before"); a fork adds a second candidate. A candidate whose
 //! weight reaches the quorum is *confirmed*.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dlt_crypto::keys::Address;
 use dlt_crypto::Digest;
@@ -55,9 +55,9 @@ impl Vote {
 #[derive(Debug, Clone, Default)]
 pub struct Election {
     /// Accumulated weight per candidate.
-    tallies: HashMap<Digest, u64>,
+    tallies: BTreeMap<Digest, u64>,
     /// Which candidate each representative currently backs.
-    voted: HashMap<Address, Digest>,
+    voted: BTreeMap<Address, Digest>,
     confirmed: Option<Digest>,
 }
 
@@ -134,7 +134,7 @@ impl Election {
 /// All live elections on a node, with the quorum policy.
 #[derive(Debug, Clone)]
 pub struct ElectionManager {
-    elections: HashMap<ElectionRoot, Election>,
+    elections: BTreeMap<ElectionRoot, Election>,
     /// Fraction of total delegated weight a candidate needs
     /// (paper §IV-B: "majority vote" — default 0.5; Nano mainnet uses
     /// a 0.67 online-weight quorum, which `e06` sweeps).
@@ -155,7 +155,7 @@ impl ElectionManager {
             "quorum fraction out of range"
         );
         ElectionManager {
-            elections: HashMap::new(),
+            elections: BTreeMap::new(),
             quorum_fraction,
             flips: 0,
         }

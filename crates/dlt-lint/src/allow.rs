@@ -1,0 +1,199 @@
+//! Parsing of `// dlt-lint: allow(Dn, reason = "…")` directives.
+//!
+//! A directive suppresses findings of exactly one rule on its *target
+//! line*: the directive's own line when it trails code, otherwise the
+//! next line that contains code. Every suppression must carry a
+//! non-empty reason; malformed directives are themselves reported as
+//! findings (rule `LINT`) and are never suppressible.
+
+use crate::Rule;
+
+/// One parsed (or rejected) suppression directive.
+#[derive(Debug)]
+pub struct Allow {
+    /// 1-based line the directive appears on.
+    pub line: usize,
+    /// The suppressed rule.
+    pub rule: Rule,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line the suppression applies to.
+    pub target_line: usize,
+    /// Set once a finding consumed this suppression.
+    pub used: bool,
+}
+
+/// A directive that did not parse, reported as a `LINT` finding.
+#[derive(Debug)]
+pub struct MalformedAllow {
+    /// 1-based line of the broken directive.
+    pub line: usize,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+const MARKER: &str = "dlt-lint:";
+
+fn skip_ws(s: &str, mut i: usize) -> usize {
+    let b = s.as_bytes();
+    while i < b.len() && (b[i] == b' ' || b[i] == b'\t') {
+        i += 1;
+    }
+    i
+}
+
+fn expect(s: &str, i: usize, tok: &str) -> Result<usize, String> {
+    if s[i..].starts_with(tok) {
+        Ok(i + tok.len())
+    } else {
+        Err(format!("expected `{tok}`"))
+    }
+}
+
+/// Parses one directive body (the text after `dlt-lint:`).
+fn parse_body(body: &str) -> Result<(Rule, String), String> {
+    let mut i = skip_ws(body, 0);
+    i = expect(body, i, "allow")?;
+    i = skip_ws(body, i);
+    i = expect(body, i, "(")?;
+    i = skip_ws(body, i);
+    let rule_start = i;
+    let bytes = body.as_bytes();
+    while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+        i += 1;
+    }
+    let rule = Rule::parse(&body[rule_start..i])
+        .ok_or_else(|| format!("unknown rule `{}`", &body[rule_start..i]))?;
+    i = skip_ws(body, i);
+    i = expect(body, i, ",")?;
+    i = skip_ws(body, i);
+    i = expect(body, i, "reason")?;
+    i = skip_ws(body, i);
+    i = expect(body, i, "=")?;
+    i = skip_ws(body, i);
+    i = expect(body, i, "\"")?;
+    let reason_start = i;
+    let close = body[i..]
+        .find('"')
+        .ok_or_else(|| "unterminated reason string".to_string())?;
+    let reason = body[reason_start..reason_start + close].trim().to_string();
+    if reason.is_empty() {
+        return Err("empty reason".to_string());
+    }
+    i = skip_ws(body, reason_start + close + 1);
+    i = expect(body, i, ")")?;
+    let rest = body[i..].trim();
+    if !rest.is_empty() {
+        return Err(format!("trailing text after directive: `{rest}`"));
+    }
+    Ok((rule, reason))
+}
+
+/// Scans the comment and code views (see [`crate::mask`]) for
+/// directives. Returns the parsed allows plus the malformed ones.
+pub fn collect(comments: &str, code: &str) -> (Vec<Allow>, Vec<MalformedAllow>) {
+    let code_lines: Vec<&str> = code.lines().collect();
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+
+    for (idx, comment_line) in comments.lines().enumerate() {
+        let Some(pos) = comment_line.find(MARKER) else {
+            continue;
+        };
+        let line = idx + 1;
+        let body = &comment_line[pos + MARKER.len()..];
+        match parse_body(body) {
+            Err(detail) => malformed.push(MalformedAllow {
+                line,
+                detail: format!("{detail} (expected `// dlt-lint: allow(Dn, reason = \"…\")`)"),
+            }),
+            Ok((rule, reason)) => {
+                // Trailing directive → same line; standalone directive →
+                // first following line that contains code.
+                let own_code = code_lines.get(idx).map_or("", |l| l.trim());
+                let target = if !own_code.is_empty() {
+                    Some(line)
+                } else {
+                    code_lines[idx + 1..]
+                        .iter()
+                        .position(|l| !l.trim().is_empty())
+                        .map(|off| line + 1 + off)
+                };
+                match target {
+                    Some(target_line) => allows.push(Allow {
+                        line,
+                        rule,
+                        reason,
+                        target_line,
+                        used: false,
+                    }),
+                    None => malformed.push(MalformedAllow {
+                        line,
+                        detail: "directive has no following code line to attach to".to_string(),
+                    }),
+                }
+            }
+        }
+    }
+    (allows, malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::mask;
+
+    fn run(src: &str) -> (Vec<Allow>, Vec<MalformedAllow>) {
+        let m = mask(src);
+        collect(&m.comments, &m.code)
+    }
+
+    #[test]
+    fn standalone_directive_targets_next_code_line() {
+        let (allows, bad) =
+            run("// dlt-lint: allow(D1, reason = \"sorted below\")\nfor k in map.keys() {}\n");
+        assert!(bad.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, Rule::D1);
+        assert_eq!(allows[0].target_line, 2);
+        assert_eq!(allows[0].reason, "sorted below");
+    }
+
+    #[test]
+    fn trailing_directive_targets_own_line() {
+        let (allows, bad) =
+            run("let x = v[0]; // dlt-lint: allow(D5, reason = \"bounds checked\")\n");
+        assert!(bad.is_empty());
+        assert_eq!(allows[0].target_line, 1);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let (allows, bad) = run("// dlt-lint: allow(D1)\nlet x = 1;\n");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].detail.contains("expected `,`"));
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let (allows, bad) = run("// dlt-lint: allow(D9, reason = \"nope\")\nlet x = 1;\n");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].detail.contains("unknown rule"));
+    }
+
+    #[test]
+    fn empty_reason_is_malformed() {
+        let (_, bad) = run("// dlt-lint: allow(D2, reason = \"  \")\nlet x = 1;\n");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].detail.contains("empty reason"));
+    }
+
+    #[test]
+    fn directive_inside_string_is_ignored() {
+        let (allows, bad) = run("let s = \"// dlt-lint: allow(D1, reason = \\\"x\\\")\";\n");
+        assert!(allows.is_empty());
+        assert!(bad.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! The `dlt-lint` binary: scans `crates/*/src/**/*.rs` under the
+//! workspace root, prints findings and the suppression table, and (with
+//! `--deny-all`) fails on any unsuppressed finding.
+//!
+//! ```text
+//! dlt-lint [--root DIR] [--deny-all] [--summary PATH]
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dlt_lint::{lint_file, Finding};
+
+fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    let mut stack = vec![crates];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            // The linter's own sources are full of deliberate rule
+            // tokens and directive examples; they are covered by the
+            // crate's unit and fixture tests instead.
+            if path.file_name().is_some_and(|n| n == "dlt-lint") {
+                continue;
+            }
+            if path.is_dir() {
+                // Only lint the shipped sources: crates/<name>/src/…
+                // (fixtures under tests/ contain deliberate positives).
+                let depth_ok = path.parent() == Some(root.join("crates").as_path());
+                if depth_ok || path.components().any(|c| c.as_os_str() == "src") {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs")
+                && path.components().any(|c| c.as_os_str() == "src")
+            {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn summary_table(suppressed: &[&Finding]) -> String {
+    let mut out = String::from("# dlt-lint suppression summary\n\n");
+    if suppressed.is_empty() {
+        out.push_str("No suppressions: the workspace passes with zero `dlt-lint: allow` directives in effect.\n");
+        return out;
+    }
+    out.push_str("| rule | site | reason |\n|------|------|--------|\n");
+    for f in suppressed {
+        out.push_str(&format!(
+            "| {} | {}:{} | {} |\n",
+            f.rule.name(),
+            f.file,
+            f.line,
+            f.suppressed.as_deref().unwrap_or("")
+        ));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_all = false;
+    let mut summary_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("dlt-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--summary" => match args.next() {
+                Some(p) => summary_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("dlt-lint: --summary requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("dlt-lint: unknown argument `{other}`");
+                eprintln!("usage: dlt-lint [--root DIR] [--deny-all] [--summary PATH]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let files = collect_sources(&root);
+    if files.is_empty() {
+        eprintln!(
+            "dlt-lint: no sources found under {} (run from the workspace root or pass --root)",
+            root.join("crates").display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut all: Vec<Finding> = Vec::new();
+    for path in &files {
+        let Ok(source) = fs::read_to_string(path) else {
+            eprintln!("dlt-lint: unreadable file {}", path.display());
+            return ExitCode::from(2);
+        };
+        all.extend(lint_file(&rel(&root, path), &source));
+    }
+
+    let (suppressed, open): (Vec<&Finding>, Vec<&Finding>) =
+        all.iter().partition(|f| f.suppressed.is_some());
+
+    for f in &open {
+        println!("{}:{}: {} {}", f.file, f.line, f.rule.name(), f.message);
+        println!("    hint: {}", f.rule.hint());
+    }
+
+    let table = summary_table(&suppressed);
+    println!(
+        "dlt-lint: {} file(s), {} finding(s) open, {} suppressed",
+        files.len(),
+        open.len(),
+        suppressed.len()
+    );
+    if !suppressed.is_empty() {
+        for f in &suppressed {
+            println!(
+                "    allowed {} at {}:{} — {}",
+                f.rule.name(),
+                f.file,
+                f.line,
+                f.suppressed.as_deref().unwrap_or("")
+            );
+        }
+    }
+    if let Some(path) = summary_path {
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        if let Err(err) = fs::write(&path, table) {
+            eprintln!("dlt-lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "dlt-lint: suppression summary written to {}",
+            path.display()
+        );
+    }
+
+    if deny_all && !open.is_empty() {
+        eprintln!(
+            "dlt-lint: failing (--deny-all) with {} open finding(s)",
+            open.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,271 @@
+//! Source masking: splits a Rust source file into a *code view* and a
+//! *comment view* of identical byte length (newlines preserved), so the
+//! rule scanners can match tokens without being fooled by string
+//! literals or comments, and the allow-directive parser can look at
+//! comments without being fooled by strings that merely contain `//`.
+//!
+//! This is a token-level approximation, not a full lexer. Known
+//! limitations (acceptable for this workspace, see DESIGN.md §3c):
+//! non-ASCII `char` literals may be misclassified as lifetimes, and
+//! block comments are blanked from *both* views (allow directives must
+//! be line comments).
+
+/// The two views of one source file. Both are exactly as long as the
+/// input and keep every newline in place, so byte offsets and line
+/// numbers are shared between them and the original.
+pub struct Masked {
+    /// Code with comment text and literal contents blanked to spaces.
+    pub code: String,
+    /// Line-comment text (including the `//`) with everything else
+    /// blanked to spaces.
+    pub comments: String,
+}
+
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    CharLit,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Detects a raw-string opener at `i` (one of `r"`, `r#…#"`, `br"`,
+/// `br#…#"`). Returns `(hash_count, body_start)` when present.
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<(u8, usize)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u8;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+        if hashes == 255 {
+            return None;
+        }
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// Whether the `'` at `i` opens a `char` literal (as opposed to a
+/// lifetime). Heuristic: escaped (`'\…'`) or exactly one byte wide
+/// (`'x'`).
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Masks `source` into the code and comment views.
+pub fn mask(source: &str) -> Masked {
+    let bytes = source.as_bytes();
+    let mut code = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::with_capacity(bytes.len());
+    let blank = |b: u8| if b == b'\n' { b'\n' } else { b' ' };
+
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    code.push(b' ');
+                    comments.push(b'/');
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    code.push(b' ');
+                    comments.push(b' ');
+                    i += 1;
+                    code.push(b' ');
+                    comments.push(b' ');
+                } else if b == b'"' {
+                    state = State::Str;
+                    code.push(b' ');
+                    comments.push(b' ');
+                } else if (b == b'r' || b == b'b')
+                    && (i == 0 || !is_ident(bytes[i - 1]))
+                    && raw_string_open(bytes, i).is_some()
+                {
+                    let (hashes, body) = raw_string_open(bytes, i).unwrap();
+                    for &o in &bytes[i..body] {
+                        code.push(blank(o));
+                        comments.push(blank(o));
+                    }
+                    i = body;
+                    state = State::RawStr(hashes);
+                    continue;
+                } else if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+                    // Byte literal `b'x'`: blank the prefix, let the
+                    // quote be handled as a char literal.
+                    code.push(b' ');
+                    comments.push(b' ');
+                } else if b == b'\'' && is_char_literal(bytes, i) {
+                    state = State::CharLit;
+                    code.push(b' ');
+                    comments.push(b' ');
+                } else {
+                    code.push(b);
+                    comments.push(blank(b));
+                }
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                    code.push(b'\n');
+                    comments.push(b'\n');
+                } else {
+                    code.push(blank(b));
+                    comments.push(b);
+                }
+            }
+            State::BlockComment(depth) => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push(b' ');
+                    comments.push(b' ');
+                    i += 1;
+                    code.push(b' ');
+                    comments.push(b' ');
+                } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push(b' ');
+                    comments.push(b' ');
+                    i += 1;
+                    code.push(b' ');
+                    comments.push(b' ');
+                } else {
+                    code.push(blank(b));
+                    comments.push(blank(b));
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    code.push(blank(b));
+                    comments.push(blank(b));
+                    i += 1;
+                    code.push(blank(bytes[i]));
+                    comments.push(blank(bytes[i]));
+                } else {
+                    if b == b'"' {
+                        state = State::Code;
+                    }
+                    code.push(blank(b));
+                    comments.push(blank(b));
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let h = hashes as usize;
+                    if bytes[i + 1..].len() >= h
+                        && bytes[i + 1..i + 1 + h].iter().all(|&c| c == b'#')
+                    {
+                        for &o in &bytes[i..=i + h] {
+                            code.push(blank(o));
+                            comments.push(blank(o));
+                        }
+                        i += h + 1;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                code.push(blank(b));
+                comments.push(blank(b));
+            }
+            State::CharLit => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    code.push(blank(b));
+                    comments.push(blank(b));
+                    i += 1;
+                    code.push(blank(bytes[i]));
+                    comments.push(blank(bytes[i]));
+                } else {
+                    if b == b'\'' {
+                        state = State::Code;
+                    }
+                    code.push(blank(b));
+                    comments.push(blank(b));
+                }
+            }
+        }
+        i += 1;
+    }
+
+    Masked {
+        code: String::from_utf8(code).expect("masking preserves UTF-8 validity"),
+        comments: String::from_utf8(comments).expect("masking preserves UTF-8 validity"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked_from_code() {
+        let m = mask("let x = \"HashMap\"; // HashMap here\nlet y = 1;");
+        assert!(!m.code.contains("HashMap"));
+        assert!(m.code.contains("let x ="));
+        assert!(m.code.contains("let y = 1;"));
+        assert!(m.comments.contains("// HashMap here"));
+        assert!(!m.comments.contains("let"));
+    }
+
+    #[test]
+    fn views_keep_length_and_newlines() {
+        let src = "a\n/* b\n c */ d\n\"e\nf\"\n";
+        let m = mask(src);
+        assert_eq!(m.code.len(), src.len());
+        assert_eq!(m.comments.len(), src.len());
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let m = mask("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(m.code.contains("<'a>"));
+        assert!(m.code.contains("&'a str"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let m = mask("let c = '\"'; let d = \"x\";");
+        assert!(!m.code.contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let m = mask("let s = r#\"Instant::now // not code\"#; let t = 1;");
+        assert!(!m.code.contains("Instant"));
+        assert!(!m.comments.contains("not code"));
+        assert!(m.code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let m = mask("/* a /* b */ c */ let z = 2;");
+        assert!(!m.code.contains('a'));
+        assert!(!m.code.contains('c'));
+        assert!(m.code.contains("let z = 2;"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Malformed-directive fixture: an unknown rule, a missing reason, an
+//! empty reason, trailing garbage, and a well-formed directive with
+//! nothing to suppress. All five must surface as LINT findings.
+
+// dlt-lint: allow(D9, reason = "no such rule")
+// dlt-lint: allow(D1)
+// dlt-lint: allow(D1, reason = "")
+// dlt-lint: allow(D1, reason = "x") trailing garbage
+// dlt-lint: allow(D1, reason = "nothing to suppress here")
+pub fn nothing() {}

@@ -1,0 +1,20 @@
+//! Suppression fixture: one trailing directive (same line) and one
+//! standalone directive (next code line), both with reasons. Both D1
+//! findings must come back suppressed, with no LINT findings.
+
+use std::collections::HashMap;
+
+pub struct S {
+    map: HashMap<u64, u64>,
+}
+
+impl S {
+    pub fn sum_all(&self) -> u64 {
+        self.map.values().sum() // dlt-lint: allow(D1, reason = "order-independent integer sum")
+    }
+
+    pub fn touch(&mut self) {
+        // dlt-lint: allow(D1, reason = "retain predicate is order-independent")
+        self.map.retain(|_, v| *v > 0);
+    }
+}

@@ -1,0 +1,13 @@
+//! D1 negative fixture: ordered iteration and point lookups into a
+//! hash map are both fine; neither may be flagged.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn lookups(index: HashMap<u64, u64>, ordered: BTreeMap<u64, u64>) -> u64 {
+    let direct = index.get(&1).copied().unwrap_or(0);
+    let mut walked = 0;
+    for (k, v) in ordered.iter() {
+        walked += k + v;
+    }
+    direct + walked
+}

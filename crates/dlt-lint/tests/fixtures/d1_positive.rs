@@ -1,0 +1,33 @@
+//! D1 positive fixture: every flagged construct iterates a hash-typed
+//! name. Fed to `lint_file` as text under a sim-crate path; never
+//! compiled as part of the crate.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    members: HashSet<u64>,
+}
+
+pub fn survey(peers: HashMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    for (id, latency) in peers.iter() {
+        acc += id + latency;
+    }
+    acc
+}
+
+impl Registry {
+    pub fn roll_call(&self) -> Vec<u64> {
+        self.members.iter().copied().collect()
+    }
+
+    pub fn prune(&mut self) {
+        self.members.retain(|m| *m != 0);
+    }
+
+    pub fn walk(&self) {
+        for member in &self.members {
+            let _ = member;
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! D2 fixture: wall-clock reads. Flagged everywhere except under the
+//! bench-harness path (the integration test lints this file twice).
+
+pub fn elapsed_wall() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,9 @@
+//! D3 fixture: randomness sources outside the seeded SimRng/xoshiro
+//! path. All three constructions must be flagged, in any crate.
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let os = OsRng;
+    let state = RandomState::new();
+    0
+}

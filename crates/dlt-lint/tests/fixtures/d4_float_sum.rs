@@ -1,0 +1,21 @@
+//! D4 fixture: float accumulation over hash-order iterators. The two
+//! float reductions over `weights` are flagged; the integer sum over
+//! the same map and the float sum over an ordered `Vec` are not.
+
+use std::collections::HashMap;
+
+pub fn total_weight(weights: HashMap<u64, f64>) -> f64 {
+    weights.values().map(|w| *w).sum::<f64>()
+}
+
+pub fn total_count(weights: HashMap<u64, u64>) -> u64 {
+    weights.values().sum::<u64>()
+}
+
+pub fn ordered_total(sorted: Vec<f64>) -> f64 {
+    sorted.iter().sum::<f64>()
+}
+
+pub fn folded(weights: HashMap<u64, f64>) -> f64 {
+    weights.values().fold(0.0, |acc, w| acc + w)
+}

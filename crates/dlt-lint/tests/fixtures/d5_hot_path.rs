@@ -1,0 +1,25 @@
+//! D5 fixture: panic paths inside a dispatch hot function. Linted
+//! under the engine path; `step` is a hot function, `drain_all` is
+//! not. `vec![…]` is a macro bracket, not indexing.
+
+pub struct Engine {
+    queue: Vec<u64>,
+    nodes: Vec<u64>,
+}
+
+impl Engine {
+    pub fn step(&mut self) -> bool {
+        let event = self.queue.pop().unwrap();
+        let slot = self.nodes[event as usize];
+        let batch = vec![event, slot];
+        if batch.is_empty() {
+            panic!("empty batch in dispatch");
+        }
+        true
+    }
+
+    pub fn drain_all(&mut self) {
+        self.queue.pop().unwrap();
+        let _ = self.nodes[0];
+    }
+}

@@ -1,0 +1,8 @@
+//! Masking fixture: every banned token appears only inside comments or
+//! string literals, so nothing may be flagged. Mentions a HashMap
+//! .iter() loop, Instant::now(), and thread_rng() — in prose only.
+
+pub fn describe() -> &'static str {
+    // A comment about HashMap.keys() order and SystemTime::now().
+    "uses HashMap.iter(), Instant::now() and thread_rng() at runtime"
+}

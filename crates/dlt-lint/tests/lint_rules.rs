@@ -1,0 +1,214 @@
+//! Integration tests over the fixture corpus: one positive and one
+//! negative case per rule, suppression handling, and the scoping
+//! rules (sim-crate paths, the bench exemption, the trailing
+//! `#[cfg(test)]` region).
+//!
+//! The fixtures live under `tests/fixtures/` and are plain text to the
+//! linter — they are never compiled, so they can use types and crates
+//! the workspace does not have.
+
+use dlt_lint::{lint_file, Finding, Rule};
+
+fn rules(findings: &[Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn open(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| f.suppressed.is_none()).collect()
+}
+
+#[test]
+fn d1_flags_hash_iteration_in_sim_crates() {
+    let findings = lint_file(
+        "crates/dlt-sim/src/fixture.rs",
+        include_str!("fixtures/d1_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec![Rule::D1; 4], "{findings:?}");
+    assert!(findings.iter().all(|f| f.suppressed.is_none()));
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("peers.iter()")));
+    assert!(messages.iter().any(|m| m.contains("members.retain()")));
+    assert!(messages.iter().any(|m| m.contains("for … in self.members")));
+}
+
+#[test]
+fn d1_ignores_ordered_iteration_and_point_lookups() {
+    let findings = lint_file(
+        "crates/dlt-sim/src/fixture.rs",
+        include_str!("fixtures/d1_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d1_only_applies_to_sim_crates() {
+    let findings = lint_file(
+        "crates/dlt-core/src/fixture.rs",
+        include_str!("fixtures/d1_positive.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d2_flags_wall_clock_reads() {
+    let findings = lint_file(
+        "crates/dlt-core/src/fixture.rs",
+        include_str!("fixtures/d2_wall_clock.rs"),
+    );
+    assert_eq!(rules(&findings), vec![Rule::D2; 3], "{findings:?}");
+}
+
+#[test]
+fn d2_exempts_the_bench_harness() {
+    let findings = lint_file(
+        "crates/dlt-testkit/src/bench.rs",
+        include_str!("fixtures/d2_wall_clock.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d3_flags_non_seeded_randomness() {
+    let findings = lint_file(
+        "crates/dlt-bench/src/fixture.rs",
+        include_str!("fixtures/d3_rng.rs"),
+    );
+    assert_eq!(rules(&findings), vec![Rule::D3; 3], "{findings:?}");
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("thread_rng")));
+    assert!(messages.iter().any(|m| m.contains("OsRng")));
+    assert!(messages.iter().any(|m| m.contains("RandomState")));
+}
+
+#[test]
+fn d4_flags_float_accumulation_over_hash_iterators() {
+    let findings = lint_file(
+        "crates/dlt-dag/src/fixture.rs",
+        include_str!("fixtures/d4_float_sum.rs"),
+    );
+    let d4: Vec<&Finding> = findings.iter().filter(|f| f.rule == Rule::D4).collect();
+    assert_eq!(d4.len(), 2, "{findings:?}");
+    assert!(d4.iter().all(|f| f.message.contains("`weights`")));
+    // The three `.values()` iterations are D1 findings in their own
+    // right; the ordered `Vec` sum contributes nothing.
+    let d1 = findings.iter().filter(|f| f.rule == Rule::D1).count();
+    assert_eq!(d1, 3, "{findings:?}");
+    assert_eq!(findings.len(), 5);
+}
+
+#[test]
+fn d5_flags_panic_paths_in_hot_functions_only() {
+    let findings = lint_file(
+        "crates/dlt-sim/src/engine.rs",
+        include_str!("fixtures/d5_hot_path.rs"),
+    );
+    assert_eq!(rules(&findings), vec![Rule::D5; 3], "{findings:?}");
+    // All three sit inside `step`; the identical constructs in
+    // `drain_all` (not a hot path) and the `vec![…]` macro bracket
+    // are not flagged.
+    assert!(findings.iter().all(|f| f.message.contains("`step`")));
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains(".unwrap")));
+    assert!(messages.iter().any(|m| m.contains("indexing")));
+    assert!(messages.iter().any(|m| m.contains("panic!")));
+}
+
+#[test]
+fn well_formed_allows_suppress_with_reasons() {
+    let findings = lint_file(
+        "crates/dlt-blockchain/src/fixture.rs",
+        include_str!("fixtures/allow_ok.rs"),
+    );
+    assert_eq!(rules(&findings), vec![Rule::D1; 2], "{findings:?}");
+    assert!(open(&findings).is_empty(), "{findings:?}");
+    let reasons: Vec<&str> = findings
+        .iter()
+        .filter_map(|f| f.suppressed.as_deref())
+        .collect();
+    assert!(reasons.contains(&"order-independent integer sum"));
+    assert!(reasons.contains(&"retain predicate is order-independent"));
+}
+
+#[test]
+fn malformed_and_unused_allows_are_lint_findings() {
+    let findings = lint_file(
+        "crates/dlt-core/src/fixture.rs",
+        include_str!("fixtures/allow_malformed.rs"),
+    );
+    assert_eq!(rules(&findings), vec![Rule::Lint; 5], "{findings:?}");
+    // LINT findings are never suppressible.
+    assert!(findings.iter().all(|f| f.suppressed.is_none()));
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("unknown rule `D9`")));
+    assert!(messages.iter().any(|m| m.contains("expected `,`")));
+    assert!(messages.iter().any(|m| m.contains("empty reason")));
+    assert!(messages.iter().any(|m| m.contains("trailing text")));
+    assert!(messages.iter().any(|m| m.contains("unused suppression")));
+}
+
+#[test]
+fn trailing_cfg_test_region_is_skipped() {
+    let findings = lint_file(
+        "crates/dlt-sim/src/fixture.rs",
+        include_str!("fixtures/cfg_test_skip.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn tokens_in_strings_and_comments_are_masked() {
+    let findings = lint_file(
+        "crates/dlt-sim/src/fixture.rs",
+        include_str!("fixtures/strings_comments.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn the_live_workspace_is_clean() {
+    // The repo's own sim crates must stay free of open findings —
+    // the same invariant the CI `lint-determinism` job enforces via
+    // the binary. Running it in-process here gives the fast local
+    // signal.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let mut open_findings = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                // Skip dlt-lint itself: its sources and fixtures carry
+                // deliberate rule tokens and directive examples.
+                if path.file_name().is_some_and(|n| n == "dlt-lint") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs")
+                && path.components().any(|c| c.as_os_str() == "src")
+            {
+                let rel = path
+                    .strip_prefix(&root)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let source = std::fs::read_to_string(&path).expect("readable source");
+                open_findings.extend(
+                    lint_file(&rel, &source)
+                        .into_iter()
+                        .filter(|f| f.suppressed.is_none()),
+                );
+            }
+        }
+    }
+    assert!(
+        open_findings.is_empty(),
+        "determinism findings in the workspace: {open_findings:#?}"
+    );
+}

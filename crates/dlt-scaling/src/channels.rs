@@ -20,7 +20,7 @@
 //! multi-hop payments along capacity-sufficient paths (the
 //! Lightning/Raiden network shape).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dlt_crypto::keys::{Address, Keypair, PublicKey, Signature};
 use dlt_crypto::sha256::Sha256;
@@ -182,9 +182,9 @@ pub struct Settlement {
 /// The channel network: all channels plus routing.
 #[derive(Debug, Default)]
 pub struct ChannelNetwork {
-    channels: HashMap<ChannelId, Channel>,
+    channels: BTreeMap<ChannelId, Channel>,
     /// Adjacency: party -> channels it participates in.
-    by_party: HashMap<Address, Vec<ChannelId>>,
+    by_party: BTreeMap<Address, Vec<ChannelId>>,
     next_id: u64,
     /// Total off-chain updates across all channels.
     pub total_updates: u64,
@@ -437,7 +437,7 @@ impl ChannelNetwork {
         if from == to {
             return Ok(Vec::new());
         }
-        let mut visited: HashSet<Address> = HashSet::from([from]);
+        let mut visited: BTreeSet<Address> = BTreeSet::from([from]);
         let mut queue: VecDeque<(Address, Vec<ChannelId>)> = VecDeque::from([(from, Vec::new())]);
         while let Some((here, path)) = queue.pop_front() {
             for id in self.by_party.get(&here).into_iter().flatten() {

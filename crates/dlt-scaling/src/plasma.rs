@@ -19,7 +19,7 @@
 //! verified state. A proven fraud slashes the operator's bond and halts
 //! the child chain so users exit with the last verified balances.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dlt_crypto::keys::Address;
 use dlt_crypto::merkle::{MerkleProof, MerkleTree};
@@ -108,9 +108,9 @@ pub struct PlasmaChain {
     commitments: Vec<Commitment>,
     /// Balance snapshots *after* each verified block (index 0 = after
     /// deposits, before block 0). Snapshots are what exits use.
-    snapshots: Vec<HashMap<Address, u64>>,
+    snapshots: Vec<BTreeMap<Address, u64>>,
     /// Live child-chain balances.
-    balances: HashMap<Address, u64>,
+    balances: BTreeMap<Address, u64>,
     /// Pending (unconfirmed) child transactions.
     pending: Vec<ChildTx>,
     /// Root-chain transactions consumed (deposits + commitments +
@@ -128,8 +128,8 @@ impl PlasmaChain {
             halted: false,
             blocks: Vec::new(),
             commitments: Vec::new(),
-            snapshots: vec![HashMap::new()],
-            balances: HashMap::new(),
+            snapshots: vec![BTreeMap::new()],
+            balances: BTreeMap::new(),
             pending: Vec::new(),
             root_chain_txs: 1, // the deployment/bond tx
             tag_seq: 0,

@@ -37,6 +37,17 @@ use crate::trace::{EventKind, NoopTracer, TraceEvent, Tracer};
 /// that allocation.
 pub type Payload<M> = Rc<M>;
 
+/// Folds one value into the running det-sanitizer hash (SplitMix64
+/// finalizer — cheap and well mixed; this is a fingerprint, not a
+/// cryptographic digest).
+#[cfg(feature = "det-sanitizer")]
+fn det_fold(h: u64, v: u64) -> u64 {
+    let mut z = (h ^ v).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Behaviour of one simulated node.
 ///
 /// `M` is the message type of the whole simulation (typically an enum
@@ -135,6 +146,14 @@ struct Core<M> {
     // Fault-injection / replay hook; `None` keeps the send path on the
     // plain network-model branch.
     interceptor: Option<Box<dyn Interceptor>>,
+    // Runtime determinism sanitizer: every dispatched event is folded
+    // into this hash, so two runs of the same seeded workload can be
+    // compared event-for-event without recording a full trace.
+    #[cfg(feature = "det-sanitizer")]
+    det_hash: u64,
+    // Optional message fingerprint, folded per delivery when set.
+    #[cfg(feature = "det-sanitizer")]
+    msg_digester: Option<fn(&M) -> u64>,
 }
 
 impl<M> Core<M> {
@@ -303,6 +322,10 @@ impl<M, N: SimNode<M>> Simulation<M, N> {
                 tracer: Box::new(NoopTracer),
                 tracing: false,
                 interceptor: None,
+                #[cfg(feature = "det-sanitizer")]
+                det_hash: 0,
+                #[cfg(feature = "det-sanitizer")]
+                msg_digester: None,
             },
         }
     }
@@ -459,12 +482,30 @@ impl<M, N: SimNode<M>> Simulation<M, N> {
                 kind: scheduled.event.kind(),
             });
         }
+        #[cfg(feature = "det-sanitizer")]
+        {
+            let mut h = self.core.det_hash;
+            h = det_fold(h, scheduled.at.as_micros());
+            h = det_fold(h, scheduled.seq);
+            h = det_fold(
+                h,
+                match &scheduled.event {
+                    Event::Deliver { from, to, msg } => {
+                        let digest = self.core.msg_digester.map_or(0, |f| f(msg));
+                        det_fold(det_fold(det_fold(1, from.0 as u64), to.0 as u64), digest)
+                    }
+                    Event::Timer { node, id } => det_fold(det_fold(2, node.0 as u64), *id),
+                },
+            );
+            self.core.det_hash = h;
+        }
         match scheduled.event {
             Event::Deliver { from, to, msg } => {
                 let mut ctx = Context {
                     core: &mut self.core,
                     node: to,
                 };
+                // dlt-lint: allow(D5, reason = "NodeId is bounds-checked at schedule time (deliver_at/send asserts); indexing cannot fail here")
                 self.nodes[to.0].on_message(&mut ctx, from, msg);
             }
             Event::Timer { node, id } => {
@@ -472,6 +513,7 @@ impl<M, N: SimNode<M>> Simulation<M, N> {
                     core: &mut self.core,
                     node,
                 };
+                // dlt-lint: allow(D5, reason = "NodeId is bounds-checked at schedule time (set_timer_for/set_timer asserts); indexing cannot fail here")
                 self.nodes[node.0].on_timer(&mut ctx, id);
             }
         }
@@ -505,6 +547,25 @@ impl<M, N: SimNode<M>> Simulation<M, N> {
     /// Number of events waiting in the queue.
     pub fn pending_events(&self) -> usize {
         self.core.queue.len()
+    }
+
+    /// The running determinism-sanitizer hash: every dispatched event's
+    /// `(time, seq, kind, node ids, msg digest)` folded in dispatch
+    /// order. Two runs of the same seeded workload must produce the
+    /// same value; a mismatch means nondeterminism slipped past the
+    /// static lint (`dlt-lint`). Use `trace_diff` on two recorded
+    /// traces to localize the first diverging event.
+    #[cfg(feature = "det-sanitizer")]
+    pub fn dispatch_hash(&self) -> u64 {
+        self.core.det_hash
+    }
+
+    /// Installs a per-message fingerprint function folded into the
+    /// sanitizer hash on every delivery (off by default: the hash then
+    /// covers timing, ordering, and routing but not payload bytes).
+    #[cfg(feature = "det-sanitizer")]
+    pub fn set_msg_digester(&mut self, digester: fn(&M) -> u64) {
+        self.core.msg_digester = Some(digester);
     }
 }
 

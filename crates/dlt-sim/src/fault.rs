@@ -225,8 +225,12 @@ impl Interceptor for FaultInterceptor {
         to: NodeId,
         deliveries: &mut Vec<SimTime>,
     ) {
-        for i in 0..self.rules.len() {
-            if let Some((start, end)) = self.rules[i].window {
+        // Destructure instead of indexing `self.rules[i]`: the rule
+        // walk is on the per-send hot path and must stay panic-free
+        // (dlt-lint D5).
+        let FaultInterceptor { rng, rules } = self;
+        for rule in rules.iter() {
+            if let Some((start, end)) = rule.window {
                 if now < start || now >= end {
                     continue;
                 }
@@ -235,15 +239,15 @@ impl Interceptor for FaultInterceptor {
             // even when the list is already empty — so the fault RNG
             // stream depends only on the send sequence, not on what
             // earlier rules (or the network) decided.
-            match &self.rules[i].action {
+            match &rule.action {
                 FaultAction::Drop { p } => {
-                    if self.rng.chance(*p) {
+                    if rng.chance(*p) {
                         deliveries.clear();
                     }
                 }
                 FaultAction::Delay { p, by } => {
                     let by = *by;
-                    if self.rng.chance(*p) {
+                    if rng.chance(*p) {
                         for d in deliveries.iter_mut() {
                             *d = d.saturating_add(by);
                         }
@@ -251,7 +255,7 @@ impl Interceptor for FaultInterceptor {
                 }
                 FaultAction::Duplicate { p, lag } => {
                     let lag = *lag;
-                    if self.rng.chance(*p) {
+                    if rng.chance(*p) {
                         if let Some(&first) = deliveries.first() {
                             deliveries.push(first.saturating_add(lag));
                         }
@@ -259,9 +263,9 @@ impl Interceptor for FaultInterceptor {
                 }
                 FaultAction::Reorder { p, window } => {
                     let window = window.as_micros();
-                    if self.rng.chance(*p) {
+                    if rng.chance(*p) {
                         for d in deliveries.iter_mut() {
-                            *d = SimTime::from_micros(self.rng.below(window));
+                            *d = SimTime::from_micros(rng.below(window));
                         }
                     }
                 }
@@ -485,6 +489,7 @@ impl Interceptor for ReplayInterceptor {
     fn intercept(&mut self, now: SimTime, from: NodeId, to: NodeId, deliveries: &mut Vec<SimTime>) {
         let i = self.cursor.0.get();
         let record = self.script.sends.get(i).unwrap_or_else(|| {
+            // dlt-lint: allow(D5, reason = "replay divergence must abort loudly; a silent fallback would corrupt the replayed schedule")
             panic!("replay diverged: send #{i} ({from}->{to}) beyond the recorded script")
         });
         assert!(

@@ -7,7 +7,7 @@
 //! soft-fork conditions of paper §IV-A, where parts of the network
 //! build on different blocks.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use dlt_crypto::codec::{Decode, DecodeError, Encode};
 
@@ -175,12 +175,12 @@ impl Network {
 
     /// The set of partition groups currently in force (for assertions in
     /// tests); empty when the network is whole.
-    pub fn partition_groups(&self) -> Vec<HashSet<NodeId>> {
+    pub fn partition_groups(&self) -> Vec<BTreeSet<NodeId>> {
         if self.groups.is_empty() {
             return Vec::new();
         }
         let max_group = self.groups.iter().copied().max().unwrap_or(0);
-        let mut out = vec![HashSet::new(); max_group + 1];
+        let mut out = vec![BTreeSet::new(); max_group + 1];
         for (i, &g) in self.groups.iter().enumerate() {
             out[g].insert(NodeId(i));
         }

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod det;
 pub mod json;
 pub mod prop;
 pub mod rng;
