@@ -1,0 +1,127 @@
+//! Shard-executor benchmark: serial vs parallel epoch-barrier
+//! execution of the e13 shard-network cell
+//! (`cargo bench --bench shard`).
+//!
+//! For each shard count K the same `ShardNetParams` cell runs once on
+//! the serial path (`threads = 1`) and once with K worker threads; the
+//! determinism contract (DESIGN.md §3d) says both produce identical
+//! outcomes, so this bench first asserts that and then times the two
+//! paths. The cell is deliberately heavier than the e13 sweep cells so
+//! per-epoch simulation work amortises the barrier cost.
+//!
+//! Besides the suite's usual `results/bench_shard.json`, this writes
+//! `BENCH_shard.json` with per-K serial/parallel medians and speedups
+//! plus the host's core count — parallel speedup is bounded by
+//! physical parallelism, so a 1-core runner honestly reports ~1x.
+
+use dlt_bench::shardnet::{run_cell, ShardNetParams};
+use dlt_sim::shard::mix;
+use dlt_sim::time::SimTime;
+use dlt_testkit::bench::BenchSuite;
+use dlt_testkit::json::Json;
+
+const SHARD_COUNTS: [usize; 4] = [2, 4, 8, 16];
+
+fn bench_cell(k: usize) -> ShardNetParams {
+    ShardNetParams {
+        shards: k,
+        capacity: 200.0,
+        cross_fraction: 0.3,
+        offered_per_shard: 600.0,
+        duration: 5.0,
+        epoch_len: SimTime::from_millis(500),
+        cross_latency: SimTime::from_millis(100),
+        replicas: 2,
+        seed: mix(mix(0, 0xbe), k as u64),
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Sanity: the parallel path must be outcome-identical to serial on
+    // every benchmarked cell before we bother timing it.
+    for &k in &SHARD_COUNTS {
+        let serial = run_cell(&bench_cell(k), 1);
+        let parallel = run_cell(&bench_cell(k), k);
+        assert_eq!(
+            (
+                serial.completed,
+                serial.cross_messages,
+                serial.combined_hash
+            ),
+            (
+                parallel.completed,
+                parallel.cross_messages,
+                parallel.combined_hash
+            ),
+            "serial and parallel shard execution diverged at K={k}"
+        );
+        assert_eq!(serial.metrics.to_string(), parallel.metrics.to_string());
+    }
+    eprintln!("scenario: e13 shard-network cell, {cores} core(s) available");
+
+    let mut suite = BenchSuite::new("shard");
+    for &k in &SHARD_COUNTS {
+        let params = bench_cell(k);
+        suite.bench_with_setup(
+            &format!("cell_k{k}/serial"),
+            || (),
+            move |()| run_cell(&params, 1),
+        );
+        suite.bench_with_setup(
+            &format!("cell_k{k}/parallel"),
+            || (),
+            move |()| run_cell(&params, k),
+        );
+    }
+    let results = suite.finish();
+
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+            .expect("bench ran")
+    };
+    let mut rows = Vec::new();
+    for &k in &SHARD_COUNTS {
+        let serial_ns = median(&format!("cell_k{k}/serial"));
+        let parallel_ns = median(&format!("cell_k{k}/parallel"));
+        let speedup = serial_ns / parallel_ns;
+        eprintln!(
+            "K={k:<2} median: serial {:.2} ms, parallel {:.2} ms -> {speedup:.2}x",
+            serial_ns / 1e6,
+            parallel_ns / 1e6
+        );
+        rows.push(Json::object([
+            ("shards".to_string(), Json::number(k as f64)),
+            ("serial_median_ns".to_string(), Json::number(serial_ns)),
+            ("parallel_median_ns".to_string(), Json::number(parallel_ns)),
+            ("speedup_median".to_string(), Json::number(speedup)),
+        ]));
+    }
+
+    let dir = std::env::var("DLT_BENCH_DIR").unwrap_or_else(|_| "results".to_string());
+    if !dir.is_empty() {
+        let doc = Json::object([
+            ("bench".to_string(), Json::string("shard")),
+            (
+                "scenario".to_string(),
+                Json::string(
+                    "e13 shard-network cell: 200 tx/s capacity, 3x offered, f=0.3, \
+                     5 s window, 500 ms epochs",
+                ),
+            ),
+            ("cores".to_string(), Json::number(cores as f64)),
+            ("cells".to_string(), Json::Array(rows)),
+        ]);
+        let path = std::path::Path::new(&dir).join("BENCH_shard.json");
+        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, doc.to_string())) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+        }
+    }
+}

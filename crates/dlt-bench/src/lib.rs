@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod shardnet;
 pub mod trace;
 
 use std::cell::RefCell;

@@ -12,6 +12,7 @@
 #![cfg(feature = "det-sanitizer")]
 
 use dlt_bench::faults::{run_blockchain_scenario, run_dag_scenario, scenarios};
+use dlt_bench::shardnet::{cell_params, run_cell};
 use dlt_sim::time::SimTime;
 use dlt_testkit::det::assert_deterministic;
 
@@ -54,6 +55,36 @@ fn dispatch_hash_distinguishes_scenarios() {
             assert_ne!(a, b, "scenario {i} and {j} produced identical hashes");
         }
     }
+}
+
+#[test]
+fn shard_combined_hash_is_deterministic_and_thread_invariant() {
+    // The e13 shard executor folds live (non-zero) per-shard dispatch
+    // hashes under this feature; the fold must be reproducible across
+    // runs and invariant to the worker-thread count.
+    let params = cell_params(4, 0.3, 2, true);
+    assert_deterministic(params.seed, |_| run_cell(&params, 1).combined_hash);
+    let serial = run_cell(&params, 1);
+    assert!(
+        serial.shard_hashes.iter().all(|&h| h != 0),
+        "det-sanitizer builds must report live per-shard hashes: {:?}",
+        serial.shard_hashes
+    );
+    for threads in [2, 4] {
+        let parallel = run_cell(&params, threads);
+        assert_eq!(serial.shard_hashes, parallel.shard_hashes);
+        assert_eq!(serial.combined_hash, parallel.combined_hash);
+    }
+}
+
+#[test]
+fn shard_combined_hash_is_seed_sensitive() {
+    // Different sweep cells must not collide: the combined hash covers
+    // every dispatch in every shard, so a different per-cell seed (the
+    // PR's seeding bugfix) has to surface in it.
+    let a = run_cell(&cell_params(4, 0.3, 2, true), 1).combined_hash;
+    let b = run_cell(&cell_params(4, 0.3, 3, true), 1).combined_hash;
+    assert_ne!(a, b, "distinct f_index cells produced identical hashes");
 }
 
 #[test]

@@ -18,6 +18,11 @@
 //! * **D5** — `unwrap`/`expect`/`panic!`/indexing in the engine
 //!   dispatch and interceptor hot paths (panic-freedom of the sim
 //!   loop).
+//! * **D6** — `std::thread` / `std::sync` primitives (spawning, locks,
+//!   channels, atomics) in simulation-reachable crates outside the
+//!   sanctioned `dlt-sim::shard` executor. Thread scheduling is
+//!   nondeterministic; cross-shard parallelism must go through the
+//!   epoch-barrier executor, which is the one audited exception.
 //!
 //! Suppression is per-site and must be justified:
 //!
@@ -56,12 +61,14 @@ pub enum Rule {
     D4,
     /// Panic path in the sim hot loop.
     D5,
+    /// Thread/shared-state primitive outside the shard executor.
+    D6,
     /// Malformed or unused suppression directive.
     Lint,
 }
 
 impl Rule {
-    /// Parses `"D1"`–`"D5"`.
+    /// Parses `"D1"`–`"D6"`.
     pub fn parse(s: &str) -> Option<Rule> {
         match s {
             "D1" => Some(Rule::D1),
@@ -69,6 +76,7 @@ impl Rule {
             "D3" => Some(Rule::D3),
             "D4" => Some(Rule::D4),
             "D5" => Some(Rule::D5),
+            "D6" => Some(Rule::D6),
             _ => None,
         }
     }
@@ -81,6 +89,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::D6 => "D6",
             Rule::Lint => "LINT",
         }
     }
@@ -93,6 +102,7 @@ impl Rule {
             Rule::D3 => "derive all randomness from the seeded SimRng (dlt-sim::rng) / dlt-testkit xoshiro path",
             Rule::D4 => "sum floats in a deterministic order: sort first or iterate an ordered collection",
             Rule::D5 => "keep the sim hot loop panic-free: use get()/get_mut() with an explicit branch",
+            Rule::D6 => "route parallelism through the dlt-sim::shard epoch-barrier executor; sim-reachable code stays single-threaded",
             Rule::Lint => "fix the directive: // dlt-lint: allow(Dn, reason = \"…\"), attached to the offending line",
         }
     }

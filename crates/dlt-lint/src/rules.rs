@@ -19,6 +19,11 @@ pub const SIM_CRATES: [&str; 4] = ["dlt-sim", "dlt-blockchain", "dlt-dag", "dlt-
 /// harness measures real elapsed time by definition).
 pub const WALL_CLOCK_EXEMPT: &str = "crates/dlt-testkit/src/bench.rs";
 
+/// The one sanctioned home of `std::thread`/`std::sync` in the
+/// simulator: the epoch-barrier shard executor (checked by D6
+/// everywhere else in the sim crates).
+pub const THREAD_EXEMPT: &str = "crates/dlt-sim/src/shard.rs";
+
 /// Engine-dispatch and interceptor hot paths checked for panic-freedom
 /// (D5), as `(file suffix, function names)` pairs.
 pub const HOT_PATHS: [(&str, &[&str]); 2] = [
@@ -40,6 +45,25 @@ const ITER_METHODS: [&str; 10] = [
     "into_values",
     "drain",
     "retain",
+];
+
+/// `std::thread` / `std::sync` surface that breaks single-threaded
+/// determinism when it leaks into sim-reachable code: spawning,
+/// shared-state cells, locks, channels, and atomics. Matched as whole
+/// identifiers, so `thread_local!` and `threads` do not trip it.
+const THREAD_TOKENS: [&str; 12] = [
+    "thread",
+    "spawn",
+    "JoinHandle",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "mpsc",
+    "Arc",
+    "AtomicBool",
+    "AtomicUsize",
+    "AtomicU64",
 ];
 
 const RNG_TOKENS: [&str; 7] = [
@@ -370,6 +394,21 @@ fn scan_d4(
     }
 }
 
+/// D6: thread/shared-state primitives in sim-reachable code outside
+/// the sanctioned shard executor.
+fn scan_d6(path: &str, code: &str, starts: &[usize], out: &mut Vec<Finding>) {
+    for token in THREAD_TOKENS {
+        for pos in word_positions(code, token) {
+            out.push(Finding::new(
+                path,
+                line_of(starts, pos),
+                Rule::D6,
+                format!("thread/shared-state primitive `{token}` outside dlt-sim::shard"),
+            ));
+        }
+    }
+}
+
 /// Byte range of the body of `fn name` occurrences (all of them — e.g.
 /// every `fn intercept` impl in the file).
 fn fn_bodies(code: &str, name: &str) -> Vec<(usize, usize)> {
@@ -463,6 +502,9 @@ pub fn scan(path: &str, code: &str) -> Vec<Finding> {
     if in_sim_crate(path) {
         scan_d1(path, code, &starts, &idents, &mut out);
         scan_d4(path, code, &starts, &idents, &mut out);
+        if !path.ends_with(THREAD_EXEMPT) {
+            scan_d6(path, code, &starts, &mut out);
+        }
     }
     if !path.ends_with(WALL_CLOCK_EXEMPT) {
         scan_d2(path, code, &starts, &mut out);

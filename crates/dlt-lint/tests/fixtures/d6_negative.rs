@@ -1,0 +1,24 @@
+// Fixture: identifiers that look thread-adjacent but must NOT trip D6
+// (word-boundary matching), plus strings/comments, which are masked.
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn run(threads: usize) -> usize {
+    // thread::spawn would be flagged here, but comments are masked.
+    let spawned = threads + 1; // `spawned` is not `spawn`
+    let archive = "Arc and Mutex in a string are masked";
+    let marching = archive.len();
+    spawned + marching
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn trailing_test_region_is_skipped() {
+        // Even a real std::thread::spawn here is out of scope.
+        let h = std::thread::spawn(|| 1);
+        assert_eq!(h.join().unwrap(), 1);
+    }
+}

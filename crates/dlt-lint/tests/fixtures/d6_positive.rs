@@ -1,0 +1,20 @@
+// Fixture: thread/shared-state primitives that D6 must flag when the
+// file sits in a sim-reachable crate outside dlt-sim::shard.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+fn run(counter: Arc<Mutex<u64>>) {
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let hits = AtomicUsize::new(0);
+        tx.send(hits).unwrap();
+    });
+    let _ = rx.recv();
+    handle.join().unwrap();
+    // dlt-lint: allow(D6, reason = "fixture: justified suppression example")
+    let sanctioned = Barrier::new(2);
+    let _ = (counter, sanctioned);
+}

@@ -114,6 +114,52 @@ fn d5_flags_panic_paths_in_hot_functions_only() {
 }
 
 #[test]
+fn d6_flags_thread_primitives_in_sim_crates() {
+    let findings = lint_file(
+        "crates/dlt-blockchain/src/fixture.rs",
+        include_str!("fixtures/d6_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec![Rule::D6; 12], "{findings:?}");
+    assert_eq!(open(&findings).len(), 11, "{findings:?}");
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("`thread`")));
+    assert!(messages.iter().any(|m| m.contains("`spawn`")));
+    assert!(messages.iter().any(|m| m.contains("`mpsc`")));
+    assert!(messages.iter().any(|m| m.contains("`AtomicUsize`")));
+    // The allow-directive suppresses exactly the `Barrier` use.
+    let suppressed: Vec<&Finding> = findings.iter().filter(|f| f.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert!(suppressed[0].message.contains("`Barrier`"));
+}
+
+#[test]
+fn d6_exempts_the_shard_executor() {
+    let findings = lint_file(
+        "crates/dlt-sim/src/shard.rs",
+        include_str!("fixtures/d6_positive.rs"),
+    );
+    assert!(findings.iter().all(|f| f.rule != Rule::D6), "{findings:?}");
+}
+
+#[test]
+fn d6_only_applies_to_sim_crates() {
+    let findings = lint_file(
+        "crates/dlt-bench/src/fixture.rs",
+        include_str!("fixtures/d6_positive.rs"),
+    );
+    assert!(findings.iter().all(|f| f.rule != Rule::D6), "{findings:?}");
+}
+
+#[test]
+fn d6_ignores_lookalike_idents_strings_comments_and_test_region() {
+    let findings = lint_file(
+        "crates/dlt-sim/src/fixture.rs",
+        include_str!("fixtures/d6_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn well_formed_allows_suppress_with_reasons() {
     let findings = lint_file(
         "crates/dlt-blockchain/src/fixture.rs",

@@ -414,6 +414,29 @@ impl<M, N: SimNode<M>> Simulation<M, N> {
         &mut self.core.metrics
     }
 
+    /// Consumes the simulation and returns its metrics — the shard
+    /// executor's hand-off path ([`crate::shard::ShardWorker::finish`]).
+    /// Consuming (rather than `mem::take`-style borrowing) keeps the
+    /// engine's pre-interned counter handles from ever pointing into an
+    /// emptied table.
+    pub fn into_metrics(self) -> Metrics {
+        self.core.metrics
+    }
+
+    /// The dispatch hash when the `det-sanitizer` feature is on, `0`
+    /// otherwise — lets feature-agnostic callers (the shard executor's
+    /// [`crate::shard::ShardReport`]) fold it unconditionally.
+    pub fn dispatch_hash_or_zero(&self) -> u64 {
+        #[cfg(feature = "det-sanitizer")]
+        {
+            self.core.det_hash
+        }
+        #[cfg(not(feature = "det-sanitizer"))]
+        {
+            0
+        }
+    }
+
     /// The simulation RNG (e.g. for workload generation).
     pub fn rng_mut(&mut self) -> &mut SimRng {
         &mut self.core.rng

@@ -27,6 +27,10 @@
 //!   every send: seed-driven fault policies (drop, delay, duplicate,
 //!   reorder, partition, Byzantine lag) and deterministic replay of a
 //!   recorded [`trace::TraceLog`].
+//! * [`shard`] — the parallel shard executor: K independent shard
+//!   simulations on worker threads between epoch barriers, with a
+//!   deterministic cross-shard exchange at each barrier. The only
+//!   sanctioned use of `std::thread` in the simulator (lint rule D6).
 //!
 //! Determinism: given the same seed and the same sequence of API calls,
 //! a simulation replays identically (events are ordered by time with a
@@ -66,10 +70,12 @@ pub mod latency;
 pub mod metrics;
 pub mod network;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Context, Payload, SimNode, Simulation};
 pub use fault::{FaultInterceptor, Interceptor, ReplayInterceptor, ReplayScript};
 pub use network::NodeId;
+pub use shard::{CrossMsg, ExecutorOutcome, ShardExecutor, ShardReport, ShardWorker};
 pub use time::SimTime;
